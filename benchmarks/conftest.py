@@ -1,0 +1,19 @@
+"""Benchmark harness conventions.
+
+Each ``test_bench_*`` module regenerates one table or figure of the paper:
+the benchmark measures the end-to-end experiment (planning + DES execution)
+and the rendered table is printed so ``pytest benchmarks/ --benchmark-only
+-s`` reproduces the evaluation section's numbers.
+"""
+
+from __future__ import annotations
+
+
+def run_and_print(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under the benchmark clock and print it."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    if hasattr(result, "render"):
+        print()
+        print(result.render())
+    return result

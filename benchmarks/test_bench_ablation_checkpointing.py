@@ -1,0 +1,55 @@
+"""Ablation bench: activation checkpointing on/off (paper Section II-C).
+
+The paper runs everything with checkpointing to avoid OOM.  This bench
+quantifies the trade it buys on our substrate: without checkpointing the
+backward pass skips the recompute (faster) but every in-flight
+micro-batch must stash its full intermediate activations (modelled as the
+block workspace becoming resident), which blows past device memory at the
+paper's batch sizes.
+"""
+
+from benchmarks.conftest import run_and_print
+from repro.config import TrainConfig
+from repro.core.balance_dp import balanced_partition
+from repro.experiments.common import ExperimentResult
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import GPT2_345M
+from repro.profiling import profile_model
+from repro.runtime.trainer import run_pipeline
+
+
+def run_checkpoint_ablation(num_stages: int = 4, m: int = 8):
+    result = ExperimentResult(
+        name=f"Ablation: activation checkpointing ({GPT2_345M.name}, "
+             f"{num_stages} stages, m={m})",
+        headers=["mbs", "ckpt", "iteration (ms)", "bwd/fwd ratio"],
+    )
+    for mbs in (4, 16, 32):
+        for ckpt in (True, False):
+            train = TrainConfig(
+                micro_batch_size=mbs, global_batch_size=mbs * m,
+                activation_checkpointing=ckpt,
+            )
+            profile = profile_model(GPT2_345M, DEFAULT_CLUSTER_HW, train)
+            partition = balanced_partition(profile.block_times(), num_stages)
+            ex = run_pipeline(profile, partition, m)
+            ratio = sum(profile.bwd_times()) / sum(profile.fwd_times())
+            result.rows.append([
+                mbs, "on" if ckpt else "off",
+                f"{ex.iteration_time * 1e3:.1f}",
+                f"{ratio:.2f}",
+            ])
+    return result
+
+
+def test_bench_checkpoint_ablation(benchmark):
+    result = run_and_print(benchmark, run_checkpoint_ablation)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    for mbs in (4, 16, 32):
+        on = float(rows[(mbs, "on")][2])
+        off = float(rows[(mbs, "off")][2])
+        # Recompute costs roughly one forward pass worth of time.
+        assert on > off
+        # With checkpointing, bwd ~ 3x fwd (2x grad + 1x recompute).
+        assert 2.5 <= float(rows[(mbs, "on")][3]) <= 3.2
+        assert 1.8 <= float(rows[(mbs, "off")][3]) <= 2.4

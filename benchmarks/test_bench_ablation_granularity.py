@@ -1,0 +1,50 @@
+"""Ablation bench: sub-layer vs layer granularity in the Planner.
+
+The paper's Fig. 3 motivation: splitting transformer layers into
+attention/FFN halves enlarges the search space at zero communication cost.
+This bench quantifies the iteration-time benefit on every benchmark model
+at the Fig. 9 configuration.
+"""
+
+import pytest
+
+from repro.config import TrainConfig
+from repro.core.planner import plan_partition
+from repro.experiments.common import ExperimentResult
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import BERT_LARGE, GPT2_345M, GPT2_762M
+from repro.profiling import profile_model
+
+
+def run_granularity_ablation(num_stages: int = 4, m: int = 8):
+    result = ExperimentResult(
+        name=f"Ablation: planner granularity ({num_stages} stages, m={m})",
+        headers=["model", "layer (ms)", "sublayer (ms)", "gain"],
+    )
+    for model in (GPT2_345M, GPT2_762M, BERT_LARGE):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=4 * m)
+        profile = profile_model(model, DEFAULT_CLUSTER_HW, train)
+        layer = plan_partition(profile, num_stages, m, granularity="layer")
+        sub = plan_partition(profile, num_stages, m, granularity="sublayer")
+        result.rows.append([
+            model.name,
+            f"{layer.iteration_time * 1e3:.1f}",
+            f"{sub.iteration_time * 1e3:.1f}",
+            f"{layer.iteration_time / sub.iteration_time:.3f}x",
+        ])
+    return result
+
+
+def test_bench_granularity(benchmark):
+    from benchmarks.conftest import run_and_print
+    result = run_and_print(benchmark, run_granularity_ablation)
+    for row in result.rows:
+        assert float(row[3].rstrip("x")) >= 1.0
+
+
+def test_bench_granularity_odd_depth(benchmark):
+    """Depth 5 does not divide 24 layers: halves matter most here."""
+    from benchmarks.conftest import run_and_print
+    result = run_and_print(benchmark, run_granularity_ablation, 5, 10)
+    for row in result.rows:
+        assert float(row[3].rstrip("x")) >= 1.0

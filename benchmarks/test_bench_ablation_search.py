@@ -1,0 +1,49 @@
+"""Ablation bench: the master-stage heuristic vs Algorithm 1 alone, and
+the Eq. (1) Cooldown adjustment on/off.
+
+DESIGN.md calls out both design choices; this bench shows what each buys
+on the Fig. 9 configuration.
+"""
+
+from benchmarks.conftest import run_and_print
+from repro.config import TrainConfig
+from repro.core.analytic_sim import simulate_partition
+from repro.core.balance_dp import balanced_partition
+from repro.core.planner import plan_partition
+from repro.experiments.common import ExperimentResult
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import BERT_LARGE, GPT2_345M, GPT2_762M
+from repro.profiling import profile_model
+
+
+def run_search_ablation(num_stages: int = 4, m: int = 8):
+    result = ExperimentResult(
+        name=f"Ablation: planner search components ({num_stages} stages, m={m})",
+        headers=["model", "alg1 only (ms)", "no eq1 (ms)", "full (ms)",
+                 "full vs alg1", "evals"],
+    )
+    for model in (GPT2_345M, GPT2_762M, BERT_LARGE):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=4 * m)
+        profile = profile_model(model, DEFAULT_CLUSTER_HW, train)
+        seed = balanced_partition(profile.block_times(), num_stages)
+        seed_time = simulate_partition(profile, seed, m).iteration_time
+        no_eq1 = plan_partition(profile, num_stages, m, cooldown_adjust=False)
+        full = plan_partition(profile, num_stages, m, cooldown_adjust=True)
+        result.rows.append([
+            model.name,
+            f"{seed_time * 1e3:.1f}",
+            f"{no_eq1.iteration_time * 1e3:.1f}",
+            f"{full.iteration_time * 1e3:.1f}",
+            f"{seed_time / full.iteration_time:.3f}x",
+            full.evaluations,
+        ])
+    return result
+
+
+def test_bench_search_ablation(benchmark):
+    result = run_and_print(benchmark, run_search_ablation)
+    for row in result.rows:
+        # The full heuristic never loses to the DP seed alone.
+        assert float(row[4].rstrip("x")) >= 1.0
+        # And it stays cheap: tens of scheme evaluations, not thousands.
+        assert row[5] < 256

@@ -1,0 +1,68 @@
+"""Ablation bench: micro-batch slicing variants.
+
+Compares (a) no slicing, (b) Algorithm 2's count, (c) slicing every warmup
+micro-batch, and (d) the comm-aggregation fix on/off — quantifying the
+paper's claims that over-slicing is wasteful and that the blockage fix is
+needed for free startup reduction.
+"""
+
+from benchmarks.conftest import run_and_print
+from repro.config import TrainConfig
+from repro.core.balance_dp import balanced_partition
+from repro.core.partition import stage_times
+from repro.core.slicer import SlicePlan, solve_slice_count
+from repro.experiments.common import ExperimentResult
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import GPT2_345M
+from repro.profiling import profile_model
+from repro.runtime.trainer import run_pipeline
+
+
+def run_slicing_ablation(num_stages: int = 8, m: int = 16):
+    train = TrainConfig(micro_batch_size=4, global_batch_size=4 * m)
+    profile = profile_model(GPT2_345M, DEFAULT_CLUSTER_HW, train)
+    partition = balanced_partition(profile.block_times(), num_stages)
+    times = stage_times(partition, profile)
+    algo2 = solve_slice_count(times, m)
+
+    result = ExperimentResult(
+        name=f"Ablation: slicing variants ({num_stages} stages, m={m}, "
+             f"Algorithm 2 -> {algo2})",
+        headers=["variant", "sliced", "iteration (ms)", "startup (ms)"],
+    )
+    variants = [
+        ("none", None),
+        ("algorithm2", SlicePlan(algo2, m)),
+        ("all-warmup", SlicePlan(min(num_stages - 1, m), m)),
+        ("algorithm2-no-agg",
+         SlicePlan(algo2, m, aggregate_last_warmup_comm=False)),
+    ]
+    for label, plan in variants:
+        if plan is None:
+            ex = run_pipeline(profile, partition, m)
+            count = 0
+        else:
+            ex = run_pipeline(
+                profile, partition, m, schedule="sliced", slice_plan=plan
+            )
+            count = plan.num_sliced
+        result.rows.append([
+            label, count,
+            f"{ex.iteration_time * 1e3:.1f}",
+            f"{ex.first_forward_start(num_stages - 1) * 1e3:.1f}",
+        ])
+    return result
+
+
+def test_bench_slicing_ablation(benchmark):
+    result = run_and_print(benchmark, run_slicing_ablation)
+    rows = {r[0]: r for r in result.rows}
+    base_startup = float(rows["none"][3])
+    algo2_startup = float(rows["algorithm2"][3])
+    # Algorithm 2 halves the startup overhead...
+    assert algo2_startup < 0.65 * base_startup
+    # ...and slicing the whole warmup buys little more while costing extra
+    # kernel/communication overhead.
+    all_iter = float(rows["all-warmup"][2])
+    algo2_iter = float(rows["algorithm2"][2])
+    assert all_iter >= algo2_iter * 0.999

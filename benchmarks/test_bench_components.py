@@ -1,0 +1,60 @@
+"""Component micro-benchmarks: the planner, simulator and DES throughput.
+
+These are regression guards on the pieces whose cost the paper cares
+about (the Planner's order-of-magnitude search-time claim relies on the
+recurrence simulator staying cheap).
+"""
+
+import pytest
+
+from repro.config import TrainConfig
+from repro.core.analytic_sim import PipelineSim
+from repro.core.balance_dp import min_max_partition
+from repro.core.partition import stage_times
+from repro.core.planner import plan_partition
+from repro.hardware.cluster import Cluster
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import GPT2_345M
+from repro.profiling import profile_model
+from repro.runtime.trainer import build_schedule
+from repro.sim.engine import execute
+
+
+@pytest.fixture(scope="module")
+def profile():
+    train = TrainConfig(micro_batch_size=4, global_batch_size=64)
+    return profile_model(GPT2_345M, DEFAULT_CLUSTER_HW, train)
+
+
+def test_bench_balance_dp(benchmark, profile):
+    weights = profile.block_times()
+    sizes = benchmark(min_max_partition, weights, 8)
+    assert len(sizes) == 8
+
+
+def test_bench_analytic_sim(benchmark, profile):
+    from repro.core.balance_dp import balanced_partition
+    p = balanced_partition(profile.block_times(), 8)
+    times = stage_times(p, profile)
+    result = benchmark(lambda: PipelineSim(times, 16).run())
+    assert result.iteration_time > 0
+
+
+def test_bench_planner(benchmark, profile):
+    result = benchmark.pedantic(
+        plan_partition, args=(profile, 8, 16), rounds=3, iterations=1
+    )
+    assert result.partition.num_stages == 8
+
+
+def test_bench_des_execution(benchmark, profile):
+    from repro.core.balance_dp import balanced_partition
+    p = balanced_partition(profile.block_times(), 8)
+    schedule = build_schedule(profile, p, 16)
+    cluster = Cluster(profile.hardware)
+    devices = cluster.pipeline_devices(8)
+    result = benchmark.pedantic(
+        execute, args=(schedule, cluster),
+        kwargs={"device_map": devices}, rounds=3, iterations=1,
+    )
+    assert not result.oom

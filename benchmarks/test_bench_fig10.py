@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 10 (iteration time vs pipeline depth)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark):
+    result = run_and_print(benchmark, fig10.run)
+    assert len(result.rows) == 12
+    # Speedup grows with depth for each model (compare first vs last row).
+    for model_rows in (result.rows[0:4], result.rows[4:8], result.rows[8:12]):
+        first = float(model_rows[0][-1].rstrip("x"))
+        last = float(model_rows[-1][-1].rstrip("x"))
+        assert last > first

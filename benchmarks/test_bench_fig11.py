@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 11 (simulator vs actual per partition scheme)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = run_and_print(benchmark, fig11.run)
+    assert len(result.rows) == 7
+    assert result.meta["trend_correlation"] > 0.95

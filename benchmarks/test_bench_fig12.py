@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 12 (planner search time comparison)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    result = run_and_print(benchmark, fig12.run)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        dapple, piper, autopipe = (float(row[i]) for i in (1, 2, 3))
+        # AutoPipe is the fastest planner; DAPPLE the slowest.
+        assert autopipe < piper < dapple

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 13 (balance comparison)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    result = run_and_print(benchmark, fig13.run)
+    for row in result.rows:
+        if row[1] == "A":
+            assert row[4] == "1.00x"
+        elif row[4] != "-":
+            # The baselines are at least 2x less balanced (paper: >= 2.73x).
+            assert float(row[4].rstrip("x")) > 2.0

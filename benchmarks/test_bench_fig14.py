@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 14 (startup overhead comparison)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig14
+
+
+def test_bench_fig14a(benchmark):
+    result = run_and_print(benchmark, fig14.run_a)
+    statuses = {row[0]: row for row in result.rows}
+    # Interleaved OOMs at the largest micro-batch; the Slicer does not.
+    assert statuses[32][2] == "OOM"
+    assert statuses[32][3] != "OOM"
+
+
+def test_bench_fig14b(benchmark):
+    result = run_and_print(benchmark, fig14.run_b)
+    statuses = {row[0]: row for row in result.rows}
+    # 24 layers cannot interleave across 8 stages x 2 chunks.
+    assert statuses[8][2] == "X"
+    assert statuses[8][3] != "X"

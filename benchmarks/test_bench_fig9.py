@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 9 (iteration time vs micro-batch size)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    result = run_and_print(benchmark, fig9.run)
+    # Three models x five micro-batch sizes.
+    assert len(result.rows) == 15
+    # Every feasible AutoPipe point beats Megatron-LM.
+    for row in result.rows:
+        if row[-1] != "-":
+            assert float(row[-1].rstrip("x")) >= 1.0

@@ -1,0 +1,21 @@
+"""Bench: sensitivity sweeps (extension beyond the paper's figures)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import sensitivity
+
+
+def test_bench_bandwidth_sweep(benchmark):
+    result = run_and_print(benchmark, sensitivity.run_bandwidth_sweep)
+    speedups = [float(r[3].rstrip("x")) for r in result.rows]
+    # AutoPipe keeps a speedup at every bandwidth point.
+    assert all(s > 1.0 for s in speedups)
+
+
+def test_bench_noise_sweep(benchmark):
+    result = run_and_print(benchmark, sensitivity.run_noise_sweep)
+    rows = {r[0]: r for r in result.rows}
+    oracle = float(rows["0.00"][3].rstrip("x"))
+    # With 10% measurement noise the mean surviving speedup stays within
+    # a couple percent of the noise-free plan.
+    mean_at_10 = float(rows["0.10"][1].rstrip("x"))
+    assert mean_at_10 > oracle - 0.05

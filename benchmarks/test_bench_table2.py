@@ -1,0 +1,11 @@
+"""Bench: regenerate Table II (partition schemes)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    result = run_and_print(benchmark, table2.run)
+    assert len(result.rows) == 7
+    for row in result.rows:
+        assert sum(row[1:5]) == 24.0

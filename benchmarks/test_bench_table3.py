@@ -1,0 +1,13 @@
+"""Bench: regenerate Table III (planner comparison, low memory demand)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark):
+    result = run_and_print(benchmark, table3.run)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # DAPPLE's 16-GPU plan hits the replica > micro-batch runtime error.
+    assert rows[(16, "D")][2] == "-"
+    # Piper and AutoPipe agree at low memory.
+    assert rows[(4, "P")][2] == rows[(4, "A")][2]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table IV (planner comparison, high memory demand)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark):
+    result = run_and_print(benchmark, table4.run)
+    rows = {(r[0], r[2], r[3]): r for r in result.rows}
+    # DAPPLE's 2-stage GPT-2 1.3B plan OOMs at every global batch size.
+    for gpus in (4, 8):
+        assert rows[("gpt2-1.3b", gpus, "D")][4] == "OOM"
+        # AutoPipe beats Piper on GPT-2 1.3B.
+        a = float(rows[("gpt2-1.3b", gpus, "A")][4])
+        p = float(rows[("gpt2-1.3b", gpus, "P")][4])
+        assert a < p

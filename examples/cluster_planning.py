@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Cluster planning: DAPPLE vs Piper vs AutoPipe for a training job.
+
+Given a model, a GPU budget and a batch configuration, run all three
+planners and execute their chosen configurations on the simulator — the
+workflow behind the paper's Tables III/IV, usable for your own sweep.
+
+Run:  python examples/cluster_planning.py [model] [gpus] [mbs] [gbs]
+e.g.  python examples/cluster_planning.py gpt2-1.3b 8 16 512
+"""
+
+import sys
+
+import numpy as np
+
+from repro import TrainConfig, get_model, profile_model
+from repro.baselines.common import evaluate_config
+from repro.baselines.dapple import plan_dapple
+from repro.baselines.piper import plan_piper
+from repro.core.strategy import autopipe_config
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "gpt2-345m"
+    gpus = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    mbs = int(sys.argv[3]) if len(sys.argv) > 3 else 32
+    gbs = int(sys.argv[4]) if len(sys.argv) > 4 else 512
+
+    model = get_model(model_name)
+    train = TrainConfig(micro_batch_size=mbs, global_batch_size=gbs)
+    profile = profile_model(model, DEFAULT_CLUSTER_HW, train)
+
+    print(f"planning {model.name} on {gpus} GPUs "
+          f"(mbs={mbs}, Gbs={gbs})\n")
+    planners = [
+        ("DAPPLE", plan_dapple), ("Piper", plan_piper),
+        ("AutoPipe", autopipe_config),
+    ]
+    for name, planner in planners:
+        try:
+            config = planner(profile, gpus, gbs)
+        except RuntimeError as exc:
+            print(f"{name:>9}: no feasible plan ({exc})")
+            continue
+        ev = evaluate_config(profile, config, gbs)
+        layers = config.partition.layers_per_stage(profile)
+        balance = float(np.std(ev.stage_seconds)) * 1e3
+        status = "OOM" if ev.oom else (
+            f"{ev.iteration_seconds * 1e3:.0f} ms/iter"
+        )
+        if ev.runtime_error:
+            status = f"runtime error ({ev.runtime_error})"
+        print(f"{name:>9}: {config.num_stages} stage(s), "
+              f"replicas={list(config.replicas)}, layers={list(layers)}")
+        print(f"{'':>9}  -> {status}, balance std {balance:.1f} ms, "
+              f"planned in {config.search_seconds * 1e3:.0f} ms")
+        print()
+
+
+if __name__ == "__main__":
+    main()

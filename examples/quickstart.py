@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: plan GPT-2 345M with AutoPipe and measure the speedup.
+
+This walks the full paper pipeline on the simulated 16x3090 cluster:
+
+1. profile the model offline ("model configs"),
+2. run the AutoPipe Planner for a balanced 4-stage partition,
+3. run the Slicer (Algorithm 2) against the planned partition,
+4. execute Megatron-LM's uniform baseline and AutoPipe on the
+   discrete-event simulator and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DEFAULT_CLUSTER_HW,
+    GPT2_345M,
+    TrainConfig,
+    autopipe_plan,
+    run_pipeline,
+)
+from repro.baselines.megatron import uniform_partition
+
+NUM_STAGES = 4
+NUM_MICRO_BATCHES = 8
+
+
+def main() -> None:
+    train = TrainConfig(micro_batch_size=4, global_batch_size=32)
+
+    # Steps 1-3: profile, plan, slice.
+    solution = autopipe_plan(
+        GPT2_345M, DEFAULT_CLUSTER_HW, train,
+        num_stages=NUM_STAGES, num_micro_batches=NUM_MICRO_BATCHES,
+    )
+    profile = solution.profile
+
+    print(f"model: {GPT2_345M.name} on {DEFAULT_CLUSTER_HW.name}")
+    print(f"planner evaluated {solution.planner.evaluations} schemes in "
+          f"{solution.planner.search_seconds * 1e3:.1f} ms")
+    print(f"balanced partition (layers/stage): "
+          f"{solution.partition.layers_per_stage(profile)}")
+    print(f"slicer: split the first {solution.slice_plan.num_sliced} "
+          f"micro-batch(es)")
+
+    # Step 4: execute both systems on the DES.
+    megatron = uniform_partition(profile, NUM_STAGES)
+    base = run_pipeline(profile, megatron, NUM_MICRO_BATCHES)
+    auto = run_pipeline(
+        profile, solution.partition, NUM_MICRO_BATCHES,
+        schedule="sliced", slice_plan=solution.slice_plan,
+    )
+
+    last = NUM_STAGES - 1
+    print()
+    print(f"{'':>12}  {'iteration':>12}  {'startup':>10}")
+    print(f"{'megatron':>12}  {base.iteration_time * 1e3:>10.1f} ms"
+          f"  {base.first_forward_start(last) * 1e3:>7.1f} ms")
+    print(f"{'autopipe':>12}  {auto.iteration_time * 1e3:>10.1f} ms"
+          f"  {auto.first_forward_start(last) * 1e3:>7.1f} ms")
+    print()
+    print(f"speedup: {base.iteration_time / auto.iteration_time:.3f}x, "
+          f"startup reduced "
+          f"{base.first_forward_start(last) / auto.first_forward_start(last):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

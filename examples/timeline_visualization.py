@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Visualise pipeline schedules as ASCII/SVG Gantt charts + Chrome traces.
+
+Renders the DES timelines of GPipe, Megatron 1F1B and the AutoPipe-sliced
+schedule on the same partition — the textual version of the paper's
+Fig. 5 / Fig. 8 schedule diagrams.  'F' marks forward compute, 'B'
+backward, '.' communication.  Each run is also exported as an SVG and a
+Chrome trace JSON (open in chrome://tracing or Perfetto) under
+``/tmp/autopipe-traces``.
+
+Run:  python examples/timeline_visualization.py
+"""
+
+import pathlib
+
+from repro import DEFAULT_CLUSTER_HW, GPT2_345M, TrainConfig, profile_model
+from repro.core.balance_dp import balanced_partition
+from repro.core.partition import stage_times
+from repro.core.slicer import make_slice_plan
+from repro.runtime.trainer import run_pipeline
+from repro.sim.svg_export import export_svg
+from repro.sim.timeline import render_ascii
+from repro.sim.trace_export import export_chrome_trace
+
+NUM_STAGES = 4
+NUM_MICRO_BATCHES = 6
+
+
+def main() -> None:
+    train = TrainConfig(micro_batch_size=4, global_batch_size=24)
+    profile = profile_model(GPT2_345M, DEFAULT_CLUSTER_HW, train)
+    partition = balanced_partition(profile.block_times(), NUM_STAGES)
+    plan = make_slice_plan(
+        stage_times(partition, profile), NUM_MICRO_BATCHES
+    )
+
+    runs = [
+        ("GPipe (fill-drain)", "gpipe", None),
+        ("Megatron 1F1B", "1f1b", None),
+        (f"AutoPipe sliced (mb={plan.num_sliced})", "sliced", plan),
+    ]
+    out_dir = pathlib.Path("/tmp/autopipe-traces")
+    out_dir.mkdir(exist_ok=True)
+    for title, schedule, slice_plan in runs:
+        result = run_pipeline(
+            profile, partition, NUM_MICRO_BATCHES,
+            schedule=schedule, slice_plan=slice_plan,
+        )
+        print(f"== {title}: {result.iteration_time * 1e3:.1f} ms, "
+              f"startup {result.first_forward_start(NUM_STAGES - 1) * 1e3:.1f} ms")
+        print(render_ascii(result.events, NUM_STAGES, width=96))
+        export_svg(result.events, NUM_STAGES,
+                   str(out_dir / f"{schedule}.svg"), title=title)
+        export_chrome_trace(result, str(out_dir / f"{schedule}.json"))
+        print(f"   wrote {out_dir}/{schedule}.svg and .json")
+        print()
+
+
+if __name__ == "__main__":
+    main()

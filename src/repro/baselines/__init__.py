@@ -1,0 +1,13 @@
+"""Baseline planners: Megatron-LM uniform, DAPPLE Planner, Piper."""
+
+from repro.baselines.megatron import (
+    MegatronInfeasible,
+    megatron_stage_options,
+    uniform_partition,
+)
+
+__all__ = [
+    "MegatronInfeasible",
+    "uniform_partition",
+    "megatron_stage_options",
+]

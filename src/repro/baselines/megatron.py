@@ -1,0 +1,68 @@
+"""Megatron-LM's uniform layer partitioner (the paper's main baseline).
+
+Megatron "evenly divides transformer layers into each pipeline stage"
+(Section IV-B): layer granularity, equal layer counts, embedding attached
+to the first stage and final norm + head to the last.  It therefore
+requires the pipeline depth to divide the transformer layer count — the
+paper runs GPT-2 762M (36 layers) with a 9-stage pipeline because 8 does
+not divide 36.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.partition import PartitionScheme
+from repro.models.blocks import BlockKind
+from repro.profiling.modelconfig import ModelProfile
+
+
+class MegatronInfeasible(ValueError):
+    """The uniform partition cannot be formed for this depth."""
+
+
+def uniform_partition(profile: ModelProfile, num_stages: int) -> PartitionScheme:
+    """Evenly split transformer layers across ``num_stages`` stages."""
+    if num_stages <= 0:
+        raise ValueError("num_stages must be positive")
+    layers: List[List[int]] = []
+    prefix: List[int] = []
+    suffix: List[int] = []
+    current: List[int] = []
+    for bp in profile.blocks:
+        kind = bp.block.kind
+        if kind is BlockKind.EMBEDDING:
+            prefix.append(bp.block.index)
+        elif kind in (BlockKind.FINAL_NORM, BlockKind.LM_HEAD, BlockKind.BERT_HEAD):
+            suffix.append(bp.block.index)
+        else:
+            current.append(bp.block.index)
+            if kind is BlockKind.FFN:
+                layers.append(current)
+                current = []
+    num_layers = len(layers)
+    if num_layers % num_stages != 0:
+        raise MegatronInfeasible(
+            f"pipeline depth {num_stages} is not a factor of "
+            f"{num_layers} transformer layers"
+        )
+    per_stage = num_layers // num_stages
+    stages: List[tuple] = []
+    for s in range(num_stages):
+        blocks: List[int] = []
+        if s == 0:
+            blocks.extend(prefix)
+        for layer in layers[s * per_stage:(s + 1) * per_stage]:
+            blocks.extend(layer)
+        if s == num_stages - 1:
+            blocks.extend(suffix)
+        stages.append(tuple(blocks))
+    return PartitionScheme(tuple(stages))
+
+
+def megatron_stage_options(profile: ModelProfile, max_stages: int) -> List[int]:
+    """Pipeline depths Megatron can run for this model (divisors of L)."""
+    num_layers = profile.model.num_layers
+    return [
+        p for p in range(1, max_stages + 1) if num_layers % p == 0
+    ]

@@ -1,0 +1,51 @@
+"""Command-line entry point: run any paper experiment by name.
+
+    python -m repro fig9            # one experiment
+    python -m repro all             # the full evaluation
+    python -m repro list            # available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="autopipe-repro",
+        description="Reproduce the AutoPipe (CLUSTER 2022) evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (fig9..fig14, table2..table4), 'all' or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        # "report" re-runs every experiment into one document; running it
+        # inside "all" would duplicate the whole evaluation.
+        names = [n for n in ALL_EXPERIMENTS if n != "report"]
+    elif args.experiment in ALL_EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(ALL_EXPERIMENTS)}, 'all' or 'list'"
+        )
+        return 2
+    for name in names:
+        ALL_EXPERIMENTS[name].main()
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

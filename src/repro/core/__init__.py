@@ -1,0 +1,25 @@
+"""AutoPipe core: the paper's Planner (simulator + partitioner) and Slicer."""
+
+from repro.core.analytic_sim import PipelineSim, SimResult, simulate_partition
+from repro.core.autopipe import AutoPipeSolution, autopipe_plan
+from repro.core.balance_dp import balanced_partition, min_max_partition
+from repro.core.partition import PartitionScheme, StageTimes, stage_times
+from repro.core.planner import PlannerResult, plan_partition
+from repro.core.slicer import SlicePlan, solve_slice_count
+
+__all__ = [
+    "PipelineSim",
+    "SimResult",
+    "simulate_partition",
+    "AutoPipeSolution",
+    "autopipe_plan",
+    "balanced_partition",
+    "min_max_partition",
+    "PartitionScheme",
+    "StageTimes",
+    "stage_times",
+    "PlannerResult",
+    "plan_partition",
+    "SlicePlan",
+    "solve_slice_count",
+]

@@ -1,0 +1,248 @@
+"""The paper's fast pipeline simulator (Section III-B-1).
+
+Given per-stage forward/backward durations, the scalar ``Comm`` and the
+number of micro-batches ``m``, the simulator derives the start time of every
+FP/BP operation in a synchronous 1F1B pipeline, the iteration time, the
+unique critical path and the **master stage**.
+
+Per-stage operation order (stage ``x`` of ``n``, Megatron 1F1B):
+
+* Warmup: ``w_x = min(m, n-1-x)`` forward passes for micro-batches
+  ``0..w_x-1``.
+* 1F1B (the paper's renumbered "blocks"): ``s_x = m - w_x`` alternating
+  (FP, BP) pairs; block ``y`` pairs ``FP(w_x + y)`` with ``BP(y)`` —
+  exactly ``max(0, m - n + x + 1)`` blocks when ``m >= n - 1``.
+* Cooldown: the remaining ``w_x`` backward passes, micro-batches
+  ``s_x..m-1``.
+
+Start times follow the paper's recurrences: the start of an operation is
+the max over its intra-stage predecessor and its cross-stage dependency,
+**plus ``Comm``** whenever the paper's equations add it (FP with ``x != 0``,
+BP with ``x != n-1``; Cooldown BPs likewise).  ``comm_mode="edges"``
+instead charges ``Comm`` only on the cross-stage dependency edge — the
+slightly more faithful model the DES uses — and exists so tests and the
+Fig. 11 experiment can quantify the paper-mode bias.
+
+Critical-path uniqueness (paper Fig. 4): when several predecessors are
+tight, the walk prefers the one on the **higher stage index**, selecting
+the longest path "closest to the last pipeline stage in the 1F1B phase".
+The master stage is the stage where the critical path spends the most
+steady-phase (1F1B) time, ties broken toward the last stage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.partition import PartitionScheme, StageTimes, stage_times
+from repro.profiling.modelconfig import ModelProfile
+
+#: An operation id: ("F" | "B", stage, micro_batch).
+OpId = Tuple[str, int, int]
+
+WARMUP = "warmup"
+STEADY = "steady"
+COOLDOWN = "cooldown"
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Output of one pipeline simulation."""
+
+    iteration_time: float
+    startup_overhead: float
+    master_stage: int
+    critical_path: Tuple[OpId, ...]
+    stage_times: StageTimes
+    num_micro_batches: int
+    op_start: Dict[OpId, float]
+    op_end: Dict[OpId, float]
+    op_phase: Dict[OpId, str]
+
+    @property
+    def num_stages(self) -> int:
+        return self.stage_times.num_stages
+
+    def stage_busy_time(self, stage: int) -> float:
+        f, b = self.stage_times.fwd[stage], self.stage_times.bwd[stage]
+        return self.num_micro_batches * (f + b)
+
+    def bubble_fraction(self, stage: int) -> float:
+        """Idle fraction of one stage over the iteration."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return 1.0 - self.stage_busy_time(stage) / self.iteration_time
+
+
+class PipelineSim:
+    """Evaluates the 1F1B dependency DAG for one partition scheme."""
+
+    def __init__(
+        self,
+        times: StageTimes,
+        num_micro_batches: int,
+        *,
+        comm_mode: str = "paper",
+    ) -> None:
+        if num_micro_batches <= 0:
+            raise ValueError("need at least one micro-batch")
+        if comm_mode not in ("paper", "edges"):
+            raise ValueError(f"unknown comm_mode {comm_mode!r}")
+        self.times = times
+        self.m = num_micro_batches
+        self.comm_mode = comm_mode
+        self.n = times.num_stages
+
+    # -- op-order construction --------------------------------------------
+
+    def stage_order(self, x: int) -> List[Tuple[OpId, str]]:
+        """The (op, phase) execution sequence of stage ``x``."""
+        n, m = self.n, self.m
+        w = min(m, n - 1 - x)
+        s = m - w
+        order: List[Tuple[OpId, str]] = []
+        for mb in range(w):
+            order.append((("F", x, mb), WARMUP))
+        for j in range(s):
+            order.append((("F", x, w + j), STEADY))
+            order.append((("B", x, j), STEADY))
+        for mb in range(s, m):
+            order.append((("B", x, mb), COOLDOWN))
+        return order
+
+    def _dependencies(self, op: OpId) -> List[OpId]:
+        kind, x, mb = op
+        deps: List[OpId] = []
+        if kind == "F" and x > 0:
+            deps.append(("F", x - 1, mb))
+        if kind == "B" and x < self.n - 1:
+            deps.append(("B", x + 1, mb))
+        return deps
+
+    def _duration(self, op: OpId) -> float:
+        kind, x, _ = op
+        return self.times.fwd[x] if kind == "F" else self.times.bwd[x]
+
+    def _comm_applies(self, op: OpId) -> bool:
+        kind, x, _ = op
+        return (kind == "F" and x > 0) or (kind == "B" and x < self.n - 1)
+
+    # -- evaluation --------------------------------------------------------
+
+    def run(self) -> SimResult:
+        n, comm = self.n, self.times.comm
+        phase: Dict[OpId, str] = {}
+        intra_pred: Dict[OpId, Optional[OpId]] = {}
+        for x in range(n):
+            prev: Optional[OpId] = None
+            for op, ph in self.stage_order(x):
+                phase[op] = ph
+                intra_pred[op] = prev
+                prev = op
+
+        # Kahn's algorithm over intra + cross dependencies.
+        preds: Dict[OpId, List[OpId]] = {}
+        succs: Dict[OpId, List[OpId]] = {op: [] for op in phase}
+        indeg: Dict[OpId, int] = {}
+        for op in phase:
+            p = list(self._dependencies(op))
+            ip = intra_pred[op]
+            if ip is not None:
+                p.append(ip)
+            preds[op] = p
+            indeg[op] = len(p)
+            for q in p:
+                succs[q].append(op)
+
+        start: Dict[OpId, float] = {}
+        end: Dict[OpId, float] = {}
+        tight_pred: Dict[OpId, Optional[OpId]] = {}
+        ready = deque(op for op, d in indeg.items() if d == 0)
+        done = 0
+        while ready:
+            op = ready.popleft()
+            done += 1
+            cross = self._dependencies(op)
+            if self.comm_mode == "paper":
+                base = 0.0
+                for q in preds[op]:
+                    base = max(base, end[q])
+                s = base + comm if self._comm_applies(op) else base
+                tol = 1e-12 + 1e-9 * max(base, 1.0)
+                tight = [q for q in preds[op] if end[q] >= base - tol]
+            else:
+                s = 0.0
+                tight = []
+                for q in preds[op]:
+                    arrival = end[q] + (comm if q in cross else 0.0)
+                    if arrival > s:
+                        s = arrival
+                for q in preds[op]:
+                    arrival = end[q] + (comm if q in cross else 0.0)
+                    if arrival >= s - (1e-12 + 1e-9 * max(s, 1.0)):
+                        tight.append(q)
+            # Unique predecessor: prefer the tight one on the highest stage
+            # (paper Fig. 4 tie-break), then the latest-finishing.
+            tight_pred[op] = (
+                max(tight, key=lambda q: (q[1], end[q])) if tight else None
+            )
+            start[op] = s
+            end[op] = s + self._duration(op)
+            for nxt in succs[op]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if done != len(phase):
+            raise RuntimeError("cyclic pipeline dependency graph (internal bug)")
+
+        last_op = max(end, key=lambda op: (end[op], op[1]))
+        iteration_time = end[last_op]
+        path: List[OpId] = []
+        cur: Optional[OpId] = last_op
+        while cur is not None:
+            path.append(cur)
+            cur = tight_pred[cur]
+        path.reverse()
+
+        master = self._master_stage(path, phase)
+        startup = start[("F", n - 1, 0)]
+        return SimResult(
+            iteration_time=iteration_time,
+            startup_overhead=startup,
+            master_stage=master,
+            critical_path=tuple(path),
+            stage_times=self.times,
+            num_micro_batches=self.m,
+            op_start=start,
+            op_end=end,
+            op_phase=phase,
+        )
+
+    def _master_stage(self, path: List[OpId], phase: Dict[OpId, str]) -> int:
+        """Stage with the most steady-phase critical-path time (tie: last)."""
+        weight = [0.0] * self.n
+        for op in path:
+            if phase[op] == STEADY:
+                weight[op[1]] += self._duration(op)
+        if max(weight) > 0.0:
+            best = max(weight)
+            return max(x for x in range(self.n) if weight[x] >= best * (1 - 1e-9))
+        # Degenerate pipelines (tiny m): fall back to the heaviest stage.
+        total = self.times.total
+        best = max(total)
+        return max(x for x in range(self.n) if total[x] >= best * (1 - 1e-9))
+
+
+def simulate_partition(
+    profile: ModelProfile,
+    partition: PartitionScheme,
+    num_micro_batches: int,
+    *,
+    comm_mode: str = "paper",
+) -> SimResult:
+    """Convenience wrapper: aggregate stage times from a profile and run."""
+    return PipelineSim(
+        stage_times(partition, profile), num_micro_batches, comm_mode=comm_mode
+    ).run()

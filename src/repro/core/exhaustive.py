@@ -1,0 +1,108 @@
+"""Exhaustive pipeline-partition search (verification oracle).
+
+Enumerates *every* contiguous partition of the block sequence into ``p``
+stages and simulates each one — O(C(n-1, p-1)) simulator calls, so only
+usable for small models or shallow pipelines.  Its purpose is to quantify
+how close the heuristic Planner gets to the true optimum (the paper argues
+the heuristic trades a bounded amount of quality for an order-of-magnitude
+search-time reduction; `benchmarks/test_bench_ablation_search.py` and
+`tests/core/test_exhaustive.py` measure exactly that).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.core.analytic_sim import PipelineSim, SimResult
+from repro.core.partition import PartitionScheme, StageTimes
+from repro.profiling.modelconfig import ModelProfile
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """The true optimum over all contiguous partitions."""
+
+    partition: PartitionScheme
+    sim: SimResult
+    evaluations: int
+    search_seconds: float
+
+    @property
+    def iteration_time(self) -> float:
+        return self.sim.iteration_time
+
+
+def iter_partitions(num_blocks: int, num_stages: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every contiguous partition as a tuple of stage sizes."""
+    if num_stages <= 0 or num_stages > num_blocks:
+        raise ValueError(
+            f"cannot cut {num_blocks} blocks into {num_stages} stages"
+        )
+    for cuts in itertools.combinations(range(1, num_blocks), num_stages - 1):
+        edges = (0, *cuts, num_blocks)
+        yield tuple(b - a for a, b in zip(edges, edges[1:]))
+
+
+def count_partitions(num_blocks: int, num_stages: int) -> int:
+    """C(n-1, p-1): the size of the search space the heuristic avoids."""
+    from math import comb
+
+    if num_stages <= 0 or num_stages > num_blocks:
+        raise ValueError(
+            f"cannot cut {num_blocks} blocks into {num_stages} stages"
+        )
+    return comb(num_blocks - 1, num_stages - 1)
+
+
+def exhaustive_partition(
+    profile: ModelProfile,
+    num_stages: int,
+    num_micro_batches: int,
+    *,
+    comm_mode: str = "paper",
+    max_evaluations: Optional[int] = 2_000_000,
+) -> ExhaustiveResult:
+    """Brute-force the optimal partition by simulating every candidate.
+
+    Raises ``ValueError`` if the search space exceeds ``max_evaluations``
+    (pass ``None`` to force it anyway).
+    """
+    n = profile.num_blocks
+    space = count_partitions(n, num_stages)
+    if max_evaluations is not None and space > max_evaluations:
+        raise ValueError(
+            f"search space C({n - 1},{num_stages - 1}) = {space} exceeds "
+            f"max_evaluations={max_evaluations}"
+        )
+    t0 = _time.perf_counter()
+    fwd = profile.fwd_times()
+    bwd = profile.bwd_times()
+    comm = profile.comm_time
+
+    best_sizes: Optional[Tuple[int, ...]] = None
+    best_sim: Optional[SimResult] = None
+    evaluations = 0
+    for sizes in iter_partitions(n, num_stages):
+        f_stages = []
+        b_stages = []
+        pos = 0
+        for size in sizes:
+            f_stages.append(sum(fwd[pos:pos + size]))
+            b_stages.append(sum(bwd[pos:pos + size]))
+            pos += size
+        times = StageTimes(tuple(f_stages), tuple(b_stages), comm)
+        sim = PipelineSim(times, num_micro_batches, comm_mode=comm_mode).run()
+        evaluations += 1
+        if best_sim is None or sim.iteration_time < best_sim.iteration_time:
+            best_sim = sim
+            best_sizes = sizes
+    assert best_sizes is not None and best_sim is not None
+    return ExhaustiveResult(
+        partition=PartitionScheme.from_sizes(best_sizes),
+        sim=best_sim,
+        evaluations=evaluations,
+        search_seconds=_time.perf_counter() - t0,
+    )

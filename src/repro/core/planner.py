@@ -1,0 +1,349 @@
+"""AutoPipe Planner: heuristic pipeline partition search (Section III-B-2).
+
+The partitioner works on **units**: at sub-layer granularity every block is
+its own unit; at layer granularity (the ablation baseline) a unit is a whole
+transformer layer.  The search is the paper's three-step loop:
+
+1. Seed with Algorithm 1 (min-max DP) over unit weights ``f_i + b_i`` and
+   simulate to find the master stage ``i`` and iteration time.
+2. *Cooldown adjustment*: redistribute the units of stages after the master
+   so that every prefix satisfies Eq. (1),
+   ``sum_{j=i+1..s} (f_j + b_j) <= (s - i) * b_i``  —  i.e. the round trip
+   below the master for any turnaround depth is covered by the master's
+   back-to-back BPs, removing its Cooldown bubble (Fig. 7(c)).  We fill each
+   trailing stage with as many units as the constraint allows (pushing any
+   surplus toward the last stage, which has Cooldown slack).
+3. *Master shift*: move the master's first unit to stage ``i-1`` or its
+   last unit to stage ``i+1``, each with and without an Algorithm 1
+   rebalance of the prefix, producing up to four candidate schemes.
+   Candidates whose master is still <= ``i`` are processed again by step 2;
+   the scheme with the minimum simulated iteration time wins.
+
+The search space is bounded by the pipeline depth (the master only moves
+forward), so the whole search typically evaluates tens of schemes.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analytic_sim import PipelineSim, SimResult
+from repro.core.balance_dp import min_max_partition
+from repro.core.partition import PartitionScheme, StageTimes
+from repro.models.transformer import layer_groups
+from repro.profiling.modelconfig import ModelProfile
+
+Sizes = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PlannerResult:
+    """Outcome of one planning run."""
+
+    partition: PartitionScheme
+    sim: SimResult
+    #: number of distinct schemes simulated.
+    evaluations: int
+    #: wall-clock planning time, seconds (Fig. 12 metric).
+    search_seconds: float
+    granularity: str
+    history: Tuple[Tuple[Sizes, float], ...] = field(default=())
+
+    @property
+    def iteration_time(self) -> float:
+        return self.sim.iteration_time
+
+
+class _UnitSpace:
+    """Partition arithmetic over granularity units instead of raw blocks."""
+
+    def __init__(self, profile: ModelProfile, granularity: str) -> None:
+        if granularity == "sublayer":
+            units = [(i,) for i in range(profile.num_blocks)]
+        elif granularity == "layer":
+            units = [tuple(g) for g in layer_groups(
+                [bp.block for bp in profile.blocks])]
+        else:
+            raise ValueError(f"unknown granularity {granularity!r}")
+        self.units: List[Tuple[int, ...]] = units
+        self.profile = profile
+        self.fwd = [
+            sum(profile.blocks[i].fwd_time for i in u) for u in units
+        ]
+        self.bwd = [
+            sum(profile.blocks[i].bwd_time for i in u) for u in units
+        ]
+        self.weights = [f + b for f, b in zip(self.fwd, self.bwd)]
+        state = profile.train.bytes_per_param_state
+        self.static = [
+            sum(profile.blocks[i].params for i in u) * state for u in units
+        ]
+        self.stash = [
+            sum(profile.blocks[i].stash_bytes for i in u) for u in units
+        ]
+        self.workspace = [
+            max(profile.blocks[i].workspace_bytes for i in u) for u in units
+        ]
+
+    def stage_memory(self, sizes: Sizes, num_micro_batches: int) -> List[float]:
+        """Predicted per-stage peak bytes under 1F1B for this partition."""
+        n = len(sizes)
+        out: List[float] = []
+        pos = 0
+        for s, size in enumerate(sizes):
+            in_flight = min(num_micro_batches, n - s)
+            static = sum(self.static[pos:pos + size])
+            stash = sum(self.stash[pos:pos + size])
+            workspace = max(self.workspace[pos:pos + size])
+            out.append(static + in_flight * stash + workspace)
+            pos += size
+        return out
+
+    @property
+    def num_units(self) -> int:
+        return len(self.units)
+
+    def to_partition(self, sizes: Sizes) -> PartitionScheme:
+        stages: List[Tuple[int, ...]] = []
+        pos = 0
+        for size in sizes:
+            blocks: List[int] = []
+            for u in self.units[pos:pos + size]:
+                blocks.extend(u)
+            stages.append(tuple(blocks))
+            pos += size
+        return PartitionScheme(tuple(stages))
+
+    def stage_times(self, sizes: Sizes) -> StageTimes:
+        fwd: List[float] = []
+        bwd: List[float] = []
+        pos = 0
+        for size in sizes:
+            fwd.append(sum(self.fwd[pos:pos + size]))
+            bwd.append(sum(self.bwd[pos:pos + size]))
+            pos += size
+        return StageTimes(tuple(fwd), tuple(bwd), self.profile.comm_time)
+
+
+def _cooldown_adjust(
+    sizes: Sizes, master: int, space: _UnitSpace
+) -> Sizes:
+    """Step 2: redistribute trailing stages to satisfy Eq. (1) prefixes.
+
+    Greedy max-fill: stage ``i+1+t`` takes as many units as keep the
+    cumulative trailing load within ``(t+1) * b_master``; the surplus flows
+    to the last stage.  Every stage keeps at least one unit.  Returns the
+    input unchanged when there is nothing after the master.
+    """
+    n = len(sizes)
+    trailing = n - 1 - master
+    if trailing <= 0:
+        return sizes
+    times = space.stage_times(sizes)
+    b_master = times.bwd[master]
+    first_unit = sum(sizes[:master + 1])
+    unit_count = space.num_units - first_unit
+    new_tail: List[int] = []
+    pos = first_unit
+    cum = 0.0
+    for t in range(trailing - 1):
+        stages_left = trailing - 1 - t
+        max_take = unit_count - (pos - first_unit) - stages_left
+        take = 0
+        while take < max_take and cum + space.weights[pos + take] <= (t + 1) * b_master:
+            cum += space.weights[pos + take]
+            take += 1
+        if take == 0:
+            # Best effort: a stage cannot be empty.
+            cum += space.weights[pos]
+            take = 1
+        new_tail.append(take)
+        pos += take
+    new_tail.append(unit_count - (pos - first_unit))
+    return tuple(sizes[:master + 1]) + tuple(new_tail)
+
+
+def _shift_candidates(
+    sizes: Sizes, master: int, space: _UnitSpace
+) -> List[Sizes]:
+    """Step 3: master-shift candidates, with and without Alg. 1 rebalance."""
+    n = len(sizes)
+    out: List[Sizes] = []
+    if master > 0 and sizes[master] >= 2:
+        # First unit of the master joins the previous stage.
+        plain = list(sizes)
+        plain[master - 1] += 1
+        plain[master] -= 1
+        out.append(tuple(plain))
+        # Rebalance the enlarged prefix (stages 0..master-1) with Alg. 1.
+        prefix_units = sum(sizes[:master]) + 1
+        rebalanced = min_max_partition(space.weights[:prefix_units], master)
+        out.append(tuple(rebalanced) + (sizes[master] - 1,) + tuple(sizes[master + 1:]))
+    if 0 < master < n - 1 and sizes[master] >= 2:
+        # Last unit of the master joins the next stage.
+        plain = list(sizes)
+        plain[master] -= 1
+        plain[master + 1] += 1
+        out.append(tuple(plain))
+        # Rebalance stages 0..master (minus the moved unit) with Alg. 1.
+        prefix_units = sum(sizes[:master + 1]) - 1
+        rebalanced = min_max_partition(space.weights[:prefix_units], master + 1)
+        out.append(
+            tuple(rebalanced) + (sizes[master + 1] + 1,) + tuple(sizes[master + 2:])
+        )
+    return out
+
+
+def _memory_repair(
+    sizes: Sizes,
+    space: _UnitSpace,
+    num_micro_batches: int,
+    memory_cap: float,
+) -> Optional[Sizes]:
+    """Shift units off memory-violating stages until the scheme fits."""
+    current = list(sizes)
+    for _ in range(space.num_units):
+        peaks = space.stage_memory(tuple(current), num_micro_batches)
+        worst = max(range(len(peaks)), key=lambda s: peaks[s])
+        if peaks[worst] <= memory_cap:
+            return tuple(current)
+        if current[worst] <= 1:
+            return None
+        neighbours = [
+            s for s in (worst - 1, worst + 1)
+            if 0 <= s < len(current) and peaks[s] < peaks[worst]
+        ]
+        if not neighbours:
+            return None
+        target = min(neighbours, key=lambda s: peaks[s])
+        current[worst] -= 1
+        current[target] += 1
+    return None
+
+
+def plan_partition(
+    profile: ModelProfile,
+    num_stages: int,
+    num_micro_batches: int,
+    *,
+    granularity: str = "sublayer",
+    comm_mode: str = "paper",
+    cooldown_adjust: bool = True,
+    max_evaluations: int = 512,
+    keep_history: bool = False,
+    memory_cap: Optional[float] = None,
+) -> PlannerResult:
+    """Run the AutoPipe Planner and return the best partition found.
+
+    ``granularity="layer"`` runs the identical search over whole-layer
+    units (the ablation of Fig. 3's sub-layer split);
+    ``cooldown_adjust=False`` disables step 2 (Eq. 1 ablation).
+    ``memory_cap`` (bytes per device) makes the search memory-aware: a
+    scheme with any stage above the cap can still guide the heuristic but
+    can never be returned as the result.  Raises ``RuntimeError`` when no
+    evaluated scheme fits the cap.
+    """
+    t0 = _time.perf_counter()
+    space = _UnitSpace(profile, granularity)
+    if num_stages > space.num_units:
+        raise ValueError(
+            f"{num_stages} stages exceed {space.num_units} "
+            f"{granularity}-granularity units"
+        )
+
+    cache: Dict[Sizes, SimResult] = {}
+    history: List[Tuple[Sizes, float]] = []
+    feasible: Dict[Sizes, bool] = {}
+
+    def fits(sizes: Sizes) -> bool:
+        if memory_cap is None:
+            return True
+        cached = feasible.get(sizes)
+        if cached is None:
+            cached = all(
+                p <= memory_cap
+                for p in space.stage_memory(sizes, num_micro_batches)
+            )
+            feasible[sizes] = cached
+        return cached
+
+    def evaluate(sizes: Sizes) -> SimResult:
+        sim = cache.get(sizes)
+        if sim is None:
+            sim = PipelineSim(
+                space.stage_times(sizes), num_micro_batches, comm_mode=comm_mode
+            ).run()
+            cache[sizes] = sim
+            if keep_history:
+                history.append((sizes, sim.iteration_time))
+        return sim
+
+    seed = tuple(min_max_partition(space.weights, num_stages))
+    best_sizes: Optional[Sizes] = None
+    best_sim: Optional[SimResult] = None
+
+    def consider(sizes: Sizes, sim: SimResult) -> None:
+        nonlocal best_sizes, best_sim
+        if not fits(sizes):
+            return
+        if best_sim is None or sim.iteration_time < best_sim.iteration_time:
+            best_sizes, best_sim = sizes, sim
+
+    seed_sim = evaluate(seed)
+    consider(seed, seed_sim)
+
+    queue: List[Sizes] = [seed]
+    enqueued = {seed}
+    if memory_cap is not None and not fits(seed):
+        # Time-balance alone may overload a stage (typically the loss
+        # head's); seed a second search trajectory from a memory-repaired
+        # variant so a feasible optimum is always reachable.
+        repaired = _memory_repair(
+            seed, space, num_micro_batches, memory_cap
+        )
+        if repaired is not None and repaired not in enqueued:
+            consider(repaired, evaluate(repaired))
+            queue.append(repaired)
+            enqueued.add(repaired)
+    while queue and len(cache) < max_evaluations:
+        sizes = queue.pop(0)
+        sim = evaluate(sizes)
+        master = sim.master_stage
+
+        if cooldown_adjust:
+            adjusted = _cooldown_adjust(sizes, master, space)
+            if adjusted != sizes:
+                adj_sim = evaluate(adjusted)
+                consider(adjusted, adj_sim)
+                # Paper: proceed to step 3 with the adjusted scheme either way.
+                sizes, sim = adjusted, adj_sim
+                master = sim.master_stage
+
+        consider(sizes, sim)
+        if master == 0:
+            continue
+        for cand in _shift_candidates(sizes, master, space):
+            if cand in enqueued:
+                continue
+            cand_sim = evaluate(cand)
+            consider(cand, cand_sim)
+            if cand_sim.master_stage <= master:
+                queue.append(cand)
+                enqueued.add(cand)
+
+    if best_sizes is None or best_sim is None:
+        raise RuntimeError(
+            f"no evaluated partition fits the {memory_cap / 2**30:.1f} GiB "
+            f"memory cap at depth {num_stages}"
+        )
+    elapsed = _time.perf_counter() - t0
+    return PlannerResult(
+        partition=space.to_partition(best_sizes),
+        sim=best_sim,
+        evaluations=len(cache),
+        search_seconds=elapsed,
+        granularity=granularity,
+        history=tuple(history),
+    )

@@ -1,0 +1,151 @@
+"""AutoPipe's cluster-level configuration choice.
+
+For the planner-comparison experiments (Tables III/IV) AutoPipe must decide
+how to spend ``G`` GPUs: "its data-parallel size is the number of GPUs over
+the pipeline stages, and it combines data and pipeline parallelism in the
+way Megatron-LM uses" (Section IV-D) — i.e. every stage shares one DP
+width.  AutoPipe's rule is the *shallowest pipeline that fits in memory*:
+pipelining deeper than memory requires only adds bubbles, so it walks the
+divisor depths in increasing order, checks the memory footprint of the
+Algorithm-1 seed partition, and runs the full Planner search once for the
+first feasible depth.
+
+With low memory demand this picks pure data parallelism (matching Piper,
+Table III); with high demand it picks 2 stages for GPT-2 345M at mbs 32
+and 4 stages for GPT-2 1.3B at mbs 16 (Table IV).
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.baselines.common import PlannedConfig, config_memory
+from repro.core.balance_dp import balanced_partition
+from repro.core.partition import PartitionScheme
+from repro.core.planner import plan_partition
+from repro.profiling.modelconfig import ModelProfile
+
+
+def _peaks(
+    profile: ModelProfile,
+    partition: PartitionScheme,
+    dp: int,
+    num_micro_batches_total: int,
+    mbs: int,
+) -> list:
+    return config_memory(
+        profile, partition, (dp,) * partition.num_stages,
+        num_micro_batches_total, mbs, "stream",
+    )
+
+
+def _fits(
+    profile: ModelProfile,
+    partition: PartitionScheme,
+    dp: int,
+    num_micro_batches_total: int,
+    mbs: int,
+) -> bool:
+    peaks = _peaks(profile, partition, dp, num_micro_batches_total, mbs)
+    return all(p <= profile.hardware.gpu_memory for p in peaks)
+
+
+def repair_memory(
+    profile: ModelProfile,
+    partition: PartitionScheme,
+    dp: int,
+    num_micro_batches_total: int,
+    mbs: int,
+) -> Optional[PartitionScheme]:
+    """Shift blocks off memory-violating stages until the plan fits.
+
+    The Planner balances *time*; the stage holding the loss head can still
+    exceed device memory (its logits workspace is batch-proportional).
+    This pass moves one boundary block at a time from the most-violating
+    stage to its lighter neighbour, preferring the neighbour with more
+    headroom, and gives up (returns ``None``) when no move helps.
+    """
+    current = partition
+    cap = profile.hardware.gpu_memory
+    for _ in range(profile.num_blocks):
+        peaks = _peaks(profile, current, dp, num_micro_batches_total, mbs)
+        worst = max(range(len(peaks)), key=lambda s: peaks[s])
+        if peaks[worst] <= cap:
+            return current
+        sizes = list(current.sizes)
+        if sizes[worst] <= 1:
+            return None
+        neighbours = [
+            s for s in (worst - 1, worst + 1)
+            if 0 <= s < len(sizes) and peaks[s] < peaks[worst]
+        ]
+        if not neighbours:
+            return None
+        target = min(neighbours, key=lambda s: peaks[s])
+        sizes[worst] -= 1
+        sizes[target] += 1
+        current = PartitionScheme.from_sizes(sizes)
+    return None
+
+
+def autopipe_config(
+    profile: ModelProfile,
+    num_gpus: int,
+    global_batch_size: int,
+    *,
+    granularity: str = "sublayer",
+) -> PlannedConfig:
+    """Choose (dp, pp) and the balanced partition for a whole cluster."""
+    t0 = _time.perf_counter()
+    mbs = profile.train.micro_batch_size
+    if global_batch_size % mbs != 0:
+        raise ValueError("global batch not divisible by micro-batch size")
+    m_total = global_batch_size // mbs
+
+    for pp in sorted(
+        p for p in range(1, num_gpus + 1) if num_gpus % p == 0
+    ):
+        dp = num_gpus // pp
+        if m_total % dp != 0 or m_total // dp < 1:
+            continue
+        m = m_total // dp
+        if pp > profile.num_blocks:
+            continue
+        # Feasibility probe: the Algorithm-1 seed, memory-repaired if the
+        # time-balanced split overloads a stage (typically the loss head's).
+        if pp == 1:
+            seed = PartitionScheme((tuple(range(profile.num_blocks)),))
+        else:
+            seed = balanced_partition(profile.block_times(), pp)
+        repaired_seed = repair_memory(profile, seed, dp, m_total, mbs)
+        if repaired_seed is None:
+            continue
+        # First feasible depth wins; run the real Planner search for it,
+        # memory-aware so it never returns an overloading scheme.
+        if pp == 1:
+            partition = repaired_seed
+            predicted = profile.total_time() * m
+        else:
+            try:
+                planned = plan_partition(
+                    profile, pp, m, granularity=granularity,
+                    memory_cap=profile.hardware.gpu_memory,
+                )
+                partition = planned.partition
+                predicted = planned.iteration_time
+            except RuntimeError:
+                partition = repaired_seed
+                predicted = profile.total_time() * m
+        return PlannedConfig(
+            planner="autopipe",
+            partition=partition,
+            replicas=(dp,) * pp,
+            num_gpus=num_gpus,
+            search_seconds=_time.perf_counter() - t0,
+            predicted=predicted,
+            semantics="stream",
+            notes=f"dp{dp}xpp{pp}",
+        )
+    raise RuntimeError(
+        "AutoPipe found no memory-feasible (dp, pp) configuration"
+    )

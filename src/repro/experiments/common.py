@@ -1,0 +1,162 @@
+"""Shared plumbing for the evaluation experiments.
+
+Every experiment compares some subset of four execution methods on the DES:
+
+* ``megatron``  — uniform layer partition, plain 1F1B (the baseline);
+* ``slicer``    — uniform partition, AutoPipe-sliced warmup;
+* ``planner``   — AutoPipe-planned partition, plain 1F1B;
+* ``autopipe``  — planned partition + sliced warmup (the full system).
+
+:func:`run_method` executes one of them and returns a :class:`MethodResult`
+with the iteration time, startup overhead and OOM flag; infeasible
+configurations (uniform partition impossible, interleaved constraints)
+surface as ``status`` markers, mirroring the paper's "OOM" and "X" cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.megatron import MegatronInfeasible, uniform_partition
+from repro.config import HardwareConfig, ModelConfig, TrainConfig
+from repro.core.partition import PartitionScheme, stage_times
+from repro.core.planner import plan_partition
+from repro.core.slicer import make_slice_plan
+from repro.hardware.cluster import Cluster
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.profiling import ModelProfile, profile_model
+from repro.runtime.trainer import run_pipeline
+from repro.schedules.interleaved import InterleavedInfeasible, build_interleaved
+from repro.sim.engine import execute
+
+METHODS = ("megatron", "slicer", "planner", "autopipe", "interleaved", "gpipe")
+
+OK = "ok"
+OOM = "OOM"
+INFEASIBLE = "X"
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """Outcome of executing one method on one configuration."""
+
+    method: str
+    status: str
+    iteration_seconds: float = 0.0
+    startup_seconds: float = 0.0
+    peak_memory: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+def _planned_partition(
+    profile: ModelProfile, num_stages: int, num_micro_batches: int
+) -> PartitionScheme:
+    return plan_partition(profile, num_stages, num_micro_batches).partition
+
+
+def run_method(
+    method: str,
+    profile: ModelProfile,
+    num_stages: int,
+    num_micro_batches: int,
+    *,
+    cluster: Optional[Cluster] = None,
+) -> MethodResult:
+    """Execute one method on the DES and classify the outcome."""
+    if cluster is None:
+        cluster = Cluster(profile.hardware)
+    try:
+        if method == "interleaved":
+            schedule = build_interleaved(
+                profile, num_stages, num_micro_batches, num_chunks=2
+            )
+            devices = cluster.pipeline_devices(num_stages)
+            execution = execute(schedule, cluster, device_map=devices)
+        else:
+            if method in ("megatron", "slicer", "gpipe"):
+                partition = uniform_partition(profile, num_stages)
+            else:
+                partition = _planned_partition(
+                    profile, num_stages, num_micro_batches
+                )
+            if method in ("slicer", "autopipe"):
+                plan = make_slice_plan(
+                    stage_times(partition, profile), num_micro_batches
+                )
+                execution = run_pipeline(
+                    profile, partition, num_micro_batches,
+                    schedule="sliced", slice_plan=plan, cluster=cluster,
+                )
+            elif method == "gpipe":
+                execution = run_pipeline(
+                    profile, partition, num_micro_batches,
+                    schedule="gpipe", cluster=cluster,
+                )
+            else:
+                execution = run_pipeline(
+                    profile, partition, num_micro_batches, cluster=cluster
+                )
+    except (MegatronInfeasible, InterleavedInfeasible):
+        return MethodResult(method=method, status=INFEASIBLE)
+    status = OOM if execution.oom else OK
+    last = num_stages - 1
+    return MethodResult(
+        method=method,
+        status=status,
+        iteration_seconds=execution.iteration_time,
+        startup_seconds=execution.first_forward_start(last),
+        peak_memory=max(execution.peak_memory),
+    )
+
+
+def make_profile(
+    model: ModelConfig,
+    micro_batch_size: int,
+    num_micro_batches: int,
+    hardware: HardwareConfig = DEFAULT_CLUSTER_HW,
+) -> ModelProfile:
+    train = TrainConfig(
+        micro_batch_size=micro_batch_size,
+        global_batch_size=micro_batch_size * num_micro_batches,
+    )
+    return profile_model(model, hardware, train)
+
+
+# -- plain-text table rendering ---------------------------------------------
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table (the benches print these)."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.1f}"
+        return str(v)
+
+    grid = [list(map(cell, headers))] + [list(map(cell, r)) for r in rows]
+    widths = [max(len(row[c]) for row in grid) for c in range(len(headers))]
+    lines = [title]
+    for i, row in enumerate(grid):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """A generic experiment payload: named rows plus free-form metadata."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return format_table(self.name, self.headers, self.rows)

@@ -1,0 +1,73 @@
+"""Fig. 12 — planner search time on the four benchmark models.
+
+Wall-clock time for DAPPLE, Piper and AutoPipe to plan a 16-GPU cluster.
+Expected shape: DAPPLE slowest (largest search space: device allocation
+per stage, plain-Python DP); AutoPipe about an order of magnitude faster
+than Piper (no data-parallel dimension in its search; the master-stage
+heuristic evaluates tens of schemes instead of a full DP).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.dapple import plan_dapple
+from repro.baselines.piper import plan_piper
+from repro.config import ModelConfig, TrainConfig
+from repro.core.strategy import autopipe_config
+from repro.experiments.common import ExperimentResult
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import BERT_LARGE, GPT2_1_3B, GPT2_345M, GPT2_762M
+from repro.profiling import profile_model
+
+MODELS = (GPT2_345M, GPT2_762M, GPT2_1_3B, BERT_LARGE)
+NUM_GPUS = 16
+#: the high-memory-demand setting: every planner must actually search a
+#: pipelined configuration (pure data parallelism does not fit).  BERT's
+#: shorter sequences need a larger micro-batch to leave the DP regime.
+MICRO_BATCH_SIZES = {
+    "gpt2-345m": 32, "gpt2-762m": 32, "gpt2-1.3b": 16, "bert-large": 64,
+}
+GLOBAL_BATCH_SIZE = 512
+
+
+def search_times(model: ModelConfig) -> dict:
+    train = TrainConfig(
+        micro_batch_size=MICRO_BATCH_SIZES[model.name],
+        global_batch_size=GLOBAL_BATCH_SIZE,
+    )
+    profile = profile_model(model, DEFAULT_CLUSTER_HW, train)
+    out = {}
+    for key, planner in (
+        ("dapple", plan_dapple), ("piper", plan_piper), ("autopipe", autopipe_config)
+    ):
+        config = planner(profile, NUM_GPUS, GLOBAL_BATCH_SIZE)
+        out[key] = config.search_seconds
+    return out
+
+
+def run(models: Sequence[ModelConfig] = MODELS) -> ExperimentResult:
+    result = ExperimentResult(
+        name=f"Fig 12: planner search time (s), {NUM_GPUS} GPUs",
+        headers=["model", "dapple", "piper", "autopipe",
+                 "dapple/autopipe", "piper/autopipe"],
+    )
+    for model in models:
+        t = search_times(model)
+        result.rows.append([
+            model.name,
+            f"{t['dapple']:.3f}",
+            f"{t['piper']:.3f}",
+            f"{t['autopipe']:.3f}",
+            f"{t['dapple'] / t['autopipe']:.1f}x",
+            f"{t['piper'] / t['autopipe']:.1f}x",
+        ])
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

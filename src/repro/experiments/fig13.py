@@ -1,0 +1,56 @@
+"""Fig. 13 — pipeline balance comparison (GPT-2 345M, micro-batch size 32).
+
+Balance is the standard deviation of per-stage running time for one
+micro-batch (the paper's criterion), measured on the plans each planner
+produces for the Table IV configurations.  Expected shape: AutoPipe's
+sub-layer partitions are several times more balanced than both DAPPLE
+(which piles layers onto its replicated tail stage) and Piper (which
+over-pipelines with integer-layer stages).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.table3 import PLANNERS, run_cell
+from repro.models.zoo import GPT2_345M
+
+MICRO_BATCH_SIZE = 32
+GLOBAL_BATCH_SIZE = 512
+GPU_COUNTS = (4, 8)
+
+
+def run(gpu_counts: Sequence[int] = GPU_COUNTS) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Fig 13: balance (std-dev of stage running time, ms) — "
+             f"{GPT2_345M.name}, mbs={MICRO_BATCH_SIZE}",
+        headers=["gpus", "alg", "stages", "balance std (ms)",
+                 "vs autopipe"],
+    )
+    for gpus in gpu_counts:
+        cells = run_cell(GPT2_345M, MICRO_BATCH_SIZE, gpus, GLOBAL_BATCH_SIZE)
+        auto = cells["A"]
+        auto_std = float(np.std(auto.stage_seconds))
+        for key in PLANNERS:
+            ev = cells[key]
+            if ev is None:
+                result.rows.append([gpus, key, "-", "-", "-"])
+                continue
+            std = float(np.std(ev.stage_seconds))
+            ratio = std / auto_std if auto_std > 0 else float("inf")
+            result.rows.append([
+                gpus, key, ev.config.num_stages,
+                f"{std * 1e3:.1f}", f"{ratio:.2f}x",
+            ])
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

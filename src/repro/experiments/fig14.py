@@ -1,0 +1,97 @@
+"""Fig. 14 — startup overhead comparison.
+
+(a) startup overhead vs micro-batch size on a 4-stage pipeline;
+(b) startup overhead vs pipeline depth at micro-batch size 4 — both on
+GPT-2 345M with 8 micro-batches per iteration (2 x depth in (b)).
+
+Methods: Megatron-LM 1F1B, Megatron's interleaved schedule, the AutoPipe
+Slicer (on the uniform partition) and full AutoPipe.  Expected shape:
+Slicer and interleaved both roughly halve the startup overhead; the
+interleaved schedule OOMs at micro-batch size 32 (column "OOM") and cannot
+run depths whose chunk count does not divide the layer count (column "X");
+AutoPipe's startup is slightly above the Slicer's because the Planner
+moves load off the last stage toward earlier stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.config import ModelConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    MethodResult,
+    make_profile,
+    run_method,
+)
+from repro.models.zoo import GPT2_345M
+
+METHODS = ("megatron", "interleaved", "slicer", "autopipe")
+MICRO_BATCH_SIZES = (4, 8, 16, 24, 32)
+STAGE_COUNTS = (2, 4, 8, 12)
+
+
+def run_point(
+    model: ModelConfig, micro_batch_size: int, num_stages: int, m: int
+) -> Dict[str, MethodResult]:
+    profile = make_profile(model, micro_batch_size, m)
+    return {
+        method: run_method(method, profile, num_stages, m)
+        for method in METHODS
+    }
+
+
+def run_a(
+    micro_batch_sizes: Sequence[int] = MICRO_BATCH_SIZES,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Fig 14(a): startup overhead (ms) vs micro-batch size "
+             "(4 stages, 8 micro-batches)",
+        headers=["mbs", *METHODS],
+    )
+    for mbs in micro_batch_sizes:
+        point = run_point(GPT2_345M, mbs, 4, 8)
+        row: List[object] = [mbs]
+        for method in METHODS:
+            r = point[method]
+            row.append(f"{r.startup_seconds * 1e3:.1f}" if r.ok else r.status)
+        result.rows.append(row)
+    return result
+
+
+def run_b(stage_counts: Sequence[int] = STAGE_COUNTS) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Fig 14(b): startup overhead (ms) vs pipeline depth "
+             "(mbs 4, micro-batches = 2 x depth)",
+        headers=["stages", *METHODS],
+    )
+    for stages in stage_counts:
+        point = run_point(GPT2_345M, 4, stages, 2 * stages)
+        row: List[object] = [stages]
+        for method in METHODS:
+            r = point[method]
+            row.append(f"{r.startup_seconds * 1e3:.1f}" if r.ok else r.status)
+        result.rows.append(row)
+    return result
+
+
+def run() -> ExperimentResult:
+    a = run_a()
+    b = run_b()
+    merged = ExperimentResult(
+        name=a.name + "\n\n" + b.render(),
+        headers=a.headers,
+        rows=a.rows,
+        meta={"a": a, "b": b},
+    )
+    return merged
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_a().render())
+    print()
+    print(run_b().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,151 @@
+"""Sensitivity analysis (extension beyond the paper's evaluation).
+
+Two sweeps the paper's conclusions implicitly depend on:
+
+* **Interconnect bandwidth** — how AutoPipe's speedup over Megatron-LM
+  changes as the cluster's links get slower/faster.  Slower links raise
+  ``Comm`` and the fixed startup cost, favouring the Slicer; they also
+  shrink the relative gain of rebalancing compute.
+* **Profiling noise** — the Planner consumes offline measurements; this
+  sweep perturbs every block time with log-normal noise and measures how
+  much of the planned speedup survives when the *true* times differ from
+  the profiled ones (plan on noisy profile, evaluate on the clean one).
+
+Both output paper-style tables and are exercised by
+``benchmarks/test_bench_sensitivity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.megatron import uniform_partition
+from repro.config import TrainConfig
+from repro.core.analytic_sim import simulate_partition
+from repro.core.planner import plan_partition
+from repro.experiments.common import ExperimentResult
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import GPT2_345M
+from repro.profiling import profile_model
+from repro.runtime.trainer import run_pipeline
+
+NUM_STAGES = 4
+NUM_MICRO_BATCHES = 8
+MICRO_BATCH_SIZE = 4
+
+
+def run_bandwidth_sweep(
+    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> ExperimentResult:
+    """AutoPipe vs Megatron-LM as interconnect bandwidth scales."""
+    result = ExperimentResult(
+        name="Sensitivity: interconnect bandwidth "
+             f"(GPT-2 345M, {NUM_STAGES} stages)",
+        headers=["bandwidth", "megatron (ms)", "autopipe (ms)", "speedup",
+                 "startup saved (ms)"],
+    )
+    train = TrainConfig(
+        micro_batch_size=MICRO_BATCH_SIZE,
+        global_batch_size=MICRO_BATCH_SIZE * NUM_MICRO_BATCHES,
+    )
+    for scale in scales:
+        hw = DEFAULT_CLUSTER_HW.replace(
+            inter_node_bandwidth=DEFAULT_CLUSTER_HW.inter_node_bandwidth * scale,
+            intra_node_bandwidth=DEFAULT_CLUSTER_HW.intra_node_bandwidth * scale,
+        )
+        profile = profile_model(GPT2_345M, hw, train)
+        mega_part = uniform_partition(profile, NUM_STAGES)
+        base = run_pipeline(profile, mega_part, NUM_MICRO_BATCHES)
+        planned = plan_partition(profile, NUM_STAGES, NUM_MICRO_BATCHES)
+        from repro.core.partition import stage_times
+        from repro.core.slicer import make_slice_plan
+        plan = make_slice_plan(
+            stage_times(planned.partition, profile), NUM_MICRO_BATCHES
+        )
+        auto = run_pipeline(
+            profile, planned.partition, NUM_MICRO_BATCHES,
+            schedule="sliced", slice_plan=plan,
+        )
+        last = NUM_STAGES - 1
+        result.rows.append([
+            f"{scale:.2f}x",
+            f"{base.iteration_time * 1e3:.1f}",
+            f"{auto.iteration_time * 1e3:.1f}",
+            f"{base.iteration_time / auto.iteration_time:.3f}x",
+            f"{(base.first_forward_start(last) - auto.first_forward_start(last)) * 1e3:.1f}",
+        ])
+    return result
+
+
+def run_noise_sweep(
+    noise_levels: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> ExperimentResult:
+    """Planner robustness: plan on noisy profiles, evaluate on the truth."""
+    result = ExperimentResult(
+        name="Sensitivity: profiling noise (plan on noisy, evaluate on true)",
+        headers=["noise σ", "mean speedup", "worst speedup",
+                 "oracle speedup"],
+    )
+    train = TrainConfig(
+        micro_batch_size=MICRO_BATCH_SIZE,
+        global_batch_size=MICRO_BATCH_SIZE * NUM_MICRO_BATCHES,
+    )
+    truth = profile_model(GPT2_345M, DEFAULT_CLUSTER_HW, train)
+    mega = uniform_partition(truth, NUM_STAGES)
+    mega_time = simulate_partition(
+        truth, mega, NUM_MICRO_BATCHES, comm_mode="edges"
+    ).iteration_time
+    clean = plan_partition(truth, NUM_STAGES, NUM_MICRO_BATCHES)
+    oracle_speedup = mega_time / simulate_partition(
+        truth, clean.partition, NUM_MICRO_BATCHES, comm_mode="edges"
+    ).iteration_time
+
+    for noise in noise_levels:
+        speedups = []
+        for seed in seeds:
+            if noise == 0.0:
+                noisy = truth
+            else:
+                noisy = profile_model(
+                    GPT2_345M, DEFAULT_CLUSTER_HW, train,
+                    noise=noise, seed=seed,
+                )
+            planned = plan_partition(noisy, NUM_STAGES, NUM_MICRO_BATCHES)
+            true_time = simulate_partition(
+                truth, planned.partition, NUM_MICRO_BATCHES, comm_mode="edges"
+            ).iteration_time
+            speedups.append(mega_time / true_time)
+            if noise == 0.0:
+                break
+        result.rows.append([
+            f"{noise:.2f}",
+            f"{float(np.mean(speedups)):.3f}x",
+            f"{float(np.min(speedups)):.3f}x",
+            f"{oracle_speedup:.3f}x",
+        ])
+    return result
+
+
+def run() -> ExperimentResult:
+    bw = run_bandwidth_sweep()
+    noise = run_noise_sweep()
+    merged = ExperimentResult(
+        name=bw.render() + "\n\n" + noise.render(),
+        headers=bw.headers,
+        rows=bw.rows,
+        meta={"bandwidth": bw, "noise": noise},
+    )
+    return merged
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_bandwidth_sweep().render())
+    print()
+    print(run_noise_sweep().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

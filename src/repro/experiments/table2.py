@@ -1,0 +1,81 @@
+"""Table II — seven pipeline partition schemes of GPT-2 345M on 4 stages.
+
+The table lists stage sizes in transformer layers, with ``.5`` marking a
+sub-layer cut (the boundary between a layer's ResidualAttentionBlock and
+its ResidualFFNBlock).  These schemes are the inputs to the simulator
+validation of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.partition import PartitionScheme
+from repro.experiments.common import ExperimentResult, make_profile
+from repro.models.zoo import GPT2_345M
+from repro.profiling.modelconfig import ModelProfile
+
+NUM_STAGES = 4
+MICRO_BATCH_SIZE = 4
+NUM_MICRO_BATCHES = 8
+
+#: Stage sizes in layers, exactly as printed in the paper's Table II.
+SCHEMES: Tuple[Tuple[float, float, float, float], ...] = (
+    (5.0, 7.0, 6.0, 6.0),
+    (6.0, 6.5, 6.5, 5.0),
+    (6.0, 7.0, 6.0, 5.0),
+    (6.5, 6.5, 6.5, 4.5),
+    (6.5, 6.5, 6.0, 5.0),
+    (7.0, 5.5, 6.0, 5.5),
+    (7.0, 6.5, 5.5, 5.0),
+)
+
+
+def scheme_partition(
+    profile: ModelProfile, layers_per_stage: Sequence[float]
+) -> PartitionScheme:
+    """Translate a Table II row into a block-level partition scheme.
+
+    Layer counts become sub-layer block counts (one layer = attention +
+    FFN block); the embedding joins stage 0 and the final norm + head
+    join the last stage, as in every partition of this reproduction.
+    """
+    total_layers = sum(layers_per_stage)
+    if abs(total_layers - profile.model.num_layers) > 1e-9:
+        raise ValueError(
+            f"scheme covers {total_layers} layers, model has "
+            f"{profile.model.num_layers}"
+        )
+    sizes: List[int] = []
+    for s, layers in enumerate(layers_per_stage):
+        blocks = round(layers * 2)
+        if abs(blocks - layers * 2) > 1e-9 or blocks <= 0:
+            raise ValueError(f"stage {s}: {layers} layers is not a half multiple")
+        if s == 0:
+            blocks += 1  # embedding
+        if s == len(layers_per_stage) - 1:
+            blocks += 2  # final norm + head
+        sizes.append(blocks)
+    return PartitionScheme.from_sizes(sizes)
+
+
+def run() -> ExperimentResult:
+    profile = make_profile(GPT2_345M, MICRO_BATCH_SIZE, NUM_MICRO_BATCHES)
+    result = ExperimentResult(
+        name="Table II: pipeline partition schemes of GPT-2 345M (layers per stage)",
+        headers=["scheme", "stage0", "stage1", "stage2", "stage3", "blocks"],
+    )
+    for i, scheme in enumerate(SCHEMES, start=1):
+        partition = scheme_partition(profile, scheme)
+        result.rows.append(
+            [i, *scheme, "/".join(str(s) for s in partition.sizes)]
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

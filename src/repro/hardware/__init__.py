@@ -1,0 +1,13 @@
+"""Hardware substrate: devices, cluster topology, communication cost model."""
+
+from repro.hardware.cluster import Cluster, DeviceId
+from repro.hardware.comm import CommModel
+from repro.hardware.device import DEFAULT_CLUSTER_HW, rtx3090_cluster
+
+__all__ = [
+    "Cluster",
+    "DeviceId",
+    "CommModel",
+    "DEFAULT_CLUSTER_HW",
+    "rtx3090_cluster",
+]

@@ -1,0 +1,70 @@
+"""Cluster topology: mapping global device ids to nodes and link classes.
+
+The paper's environment is homogeneous enough that "the speed for
+intra-device and inter-device communication is almost identical"
+(Section IV-D), which lets AutoPipe skip device placement.  We still model
+the two link classes (PCIe within a node, InfiniBand between nodes) so that
+topology-sensitive experiments remain possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import HardwareConfig
+
+DeviceId = int
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A set of GPUs grouped into nodes."""
+
+    hw: HardwareConfig
+
+    @property
+    def num_devices(self) -> int:
+        return self.hw.num_gpus
+
+    def node_of(self, device: DeviceId) -> int:
+        self._check(device)
+        return device // self.hw.gpus_per_node
+
+    def same_node(self, a: DeviceId, b: DeviceId) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def devices(self) -> List[DeviceId]:
+        return list(range(self.num_devices))
+
+    def pipeline_devices(self, num_stages: int, replica: int = 0) -> List[DeviceId]:
+        """Devices hosting one pipeline replica.
+
+        Megatron-LM's grid maps pipeline stages across nodes first so that a
+        stage boundary is an inter-node hop for deep pipelines; with
+        homogeneous link costs the assignment is immaterial, so we use the
+        simple contiguous mapping ``replica * num_stages + stage``.
+        """
+        if num_stages <= 0:
+            raise ValueError("num_stages must be positive")
+        first = replica * num_stages
+        last = first + num_stages
+        if last > self.num_devices:
+            raise ValueError(
+                f"replica {replica} of a {num_stages}-stage pipeline needs "
+                f"devices up to {last - 1}, cluster has {self.num_devices}"
+            )
+        return list(range(first, last))
+
+    def link_class(self, a: DeviceId, b: DeviceId) -> str:
+        return "intra" if self.same_node(a, b) else "inter"
+
+    def _check(self, device: DeviceId) -> None:
+        if not 0 <= device < self.num_devices:
+            raise ValueError(
+                f"device {device} out of range [0, {self.num_devices})"
+            )
+
+    def all_pairs(self) -> List[Tuple[DeviceId, DeviceId]]:
+        n = self.num_devices
+        return [(a, b) for a in range(n) for b in range(n) if a != b]

@@ -1,0 +1,67 @@
+"""Communication cost model (NCCL-style point-to-point and ring allreduce).
+
+Point-to-point transfers follow the alpha-beta model
+``latency + bytes / bandwidth``.  The paper observes (Section II-B) that
+pipeline activations are too small to saturate the network and that GPUs
+send/receive concurrently, so **bidirectional communication costs the same
+as unidirectional**; the DES models this with one independent link per
+direction, and this module exposes a single per-transfer cost either way.
+
+Ring allreduce over ``n`` ranks moves ``2 (n-1)/n * bytes`` through the
+slowest link, which is what data-parallel gradient synchronisation charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import HardwareConfig
+from repro.hardware.cluster import Cluster, DeviceId
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """All communication times derived from a :class:`HardwareConfig`."""
+
+    hw: HardwareConfig
+
+    def p2p_time(self, num_bytes: float, *, inter_node: bool = True) -> float:
+        """One point-to-point activation/gradient transfer, seconds."""
+        if num_bytes < 0:
+            raise ValueError("negative transfer size")
+        if num_bytes == 0:
+            return 0.0
+        return self.hw.link_latency + num_bytes / self.hw.effective_bandwidth(
+            inter_node=inter_node
+        )
+
+    def p2p_time_between(
+        self, cluster: Cluster, src: DeviceId, dst: DeviceId, num_bytes: float
+    ) -> float:
+        return self.p2p_time(
+            num_bytes, inter_node=not cluster.same_node(src, dst)
+        )
+
+    def allreduce_time(
+        self, num_bytes: float, num_ranks: int, *, inter_node: bool = True
+    ) -> float:
+        """Ring allreduce of ``num_bytes`` across ``num_ranks``, seconds."""
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if num_ranks == 1 or num_bytes == 0:
+            return 0.0
+        volume = 2.0 * (num_ranks - 1) / num_ranks * num_bytes
+        steps = 2 * (num_ranks - 1)
+        return steps * self.hw.link_latency + volume / self.hw.effective_bandwidth(
+            inter_node=inter_node
+        )
+
+    def pipeline_hop_time(self, num_bytes: float) -> float:
+        """The single `Comm` constant of the paper's recurrences.
+
+        The paper treats stage-to-stage communication cost as one scalar
+        (``Comm``) because its homogeneous testbed makes intra- and
+        inter-node hops nearly identical; we use the inter-node figure,
+        the common case once pipelines span nodes.
+        """
+        return self.p2p_time(num_bytes, inter_node=True)

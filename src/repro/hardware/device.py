@@ -1,0 +1,17 @@
+"""Canonical hardware configurations used throughout the reproduction."""
+
+from __future__ import annotations
+
+from repro.config import HardwareConfig
+
+#: The paper's testbed: 4 nodes x 4 RTX 3090, 100 Gb/s InfiniBand.
+DEFAULT_CLUSTER_HW = HardwareConfig()
+
+
+def rtx3090_cluster(num_nodes: int = 4, gpus_per_node: int = 4) -> HardwareConfig:
+    """A 3090 cluster of arbitrary shape with the paper-calibrated derates."""
+    return HardwareConfig(
+        name=f"{num_nodes}x{gpus_per_node}x3090",
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+    )

@@ -1,0 +1,27 @@
+"""Model substrate: block IR, analytic cost model, and the benchmark zoo."""
+
+from repro.models.blocks import Block, BlockKind
+from repro.models.costs import BlockCosts, block_costs
+from repro.models.transformer import build_blocks
+from repro.models.zoo import (
+    BERT_LARGE,
+    GPT2_345M,
+    GPT2_762M,
+    GPT2_1_3B,
+    MODEL_ZOO,
+    get_model,
+)
+
+__all__ = [
+    "Block",
+    "BlockKind",
+    "BlockCosts",
+    "block_costs",
+    "build_blocks",
+    "GPT2_345M",
+    "GPT2_762M",
+    "GPT2_1_3B",
+    "BERT_LARGE",
+    "MODEL_ZOO",
+    "get_model",
+]

@@ -1,0 +1,67 @@
+"""Block-level intermediate representation of transformer models.
+
+The paper's key granularity decision (Fig. 3) is to split each transformer
+layer into a **ResidualAttentionBlock** and a **ResidualFFNBlock**: both
+consume and produce a ``(mbs, seq, hidden)`` activation, so cutting the
+pipeline between them adds no communication volume compared to layer
+granularity while doubling the partition search space.
+
+A model is an ordered list of :class:`Block`.  Blocks are structural only;
+their FLOP/byte costs live in :mod:`repro.models.costs` and their measured
+times in :mod:`repro.profiling`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BlockKind(enum.Enum):
+    """The block vocabulary needed for GPT-2 and BERT benchmarks."""
+
+    EMBEDDING = "embedding"          # token + position embedding (+LN)
+    ATTENTION = "attention"          # ResidualAttentionBlock: LN + MHA + add
+    FFN = "ffn"                      # ResidualFFNBlock: LN + MLP + add
+    FINAL_NORM = "final_norm"        # final LayerNorm
+    LM_HEAD = "lm_head"              # logits projection (weight-tied)
+    BERT_HEAD = "bert_head"          # pooler + MLM head
+
+    @property
+    def is_sublayer(self) -> bool:
+        """True for the two halves of a transformer layer."""
+        return self in (BlockKind.ATTENTION, BlockKind.FFN)
+
+
+@dataclass(frozen=True)
+class Block:
+    """One schedulable unit of the model.
+
+    ``layer_index`` is the transformer layer the block belongs to (-1 for
+    blocks outside the transformer stack).  ``index`` is the position in the
+    model's block sequence and doubles as the identity used by partition
+    schemes.
+    """
+
+    index: int
+    kind: BlockKind
+    layer_index: int = -1
+
+    @property
+    def label(self) -> str:
+        if self.kind.is_sublayer:
+            return f"{self.kind.value}[{self.layer_index}]"
+        return self.kind.value
+
+    @property
+    def layer_fraction(self) -> float:
+        """Contribution to the 'number of layers' accounting of Table II.
+
+        Each sub-layer block counts as half a transformer layer; blocks
+        outside the stack count as zero layers (the paper's stage-size
+        tables count transformer layers only).
+        """
+        return 0.5 if self.kind.is_sublayer else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label

@@ -1,0 +1,173 @@
+"""Analytic FLOP / byte / parameter cost model for transformer blocks.
+
+These are the standard dense-transformer accounting formulas (e.g. the
+Megatron-LM papers).  All FLOP counts include the factor 2 for
+multiply-accumulate.  Backward propagation costs twice the forward FLOPs;
+with activation checkpointing an extra forward recomputation is charged to
+the backward pass (paper Section II-C).
+
+Shapes: ``b`` = micro-batch size, ``s`` = sequence length, ``h`` = hidden
+size, ``f`` = FFN hidden size, ``v`` = vocabulary size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+from repro.models.blocks import Block, BlockKind
+
+#: Bytes stashed per checkpointed sub-layer block, as a multiple of its
+#: input tensor: the block input plus the residual copy and dropout mask
+#: PyTorch retains outside the checkpoint scope.  Calibrated (with
+#: LOGITS_WORKSPACE_FACTOR) so the OOM pattern of the paper's testbed is
+#: reproduced; see DESIGN.md "memory calibration".
+STASH_FACTOR = 2.5
+
+#: GEMM efficiency half-saturation point, in tokens: achieved throughput
+#: scales roughly as tokens / (tokens + H), so half micro-batches and
+#: replica sub-batches run a few percent slower than their share of the
+#: full batch.
+GEMM_EFFICIENCY_HALF_TOKENS = 512.0
+
+
+def small_batch_slowdown(sub_tokens: float, full_tokens: float) -> float:
+    """Relative slowdown of a partial batch versus the batch it came from."""
+    if sub_tokens <= 0 or full_tokens <= 0:
+        raise ValueError("token counts must be positive")
+    h = GEMM_EFFICIENCY_HALF_TOKENS
+    return ((sub_tokens + h) / sub_tokens) / ((full_tokens + h) / full_tokens)
+
+
+#: Transient working set of the loss head as a multiple of the fp16 logits
+#: tensor (fp16 logits + fp32 copy + fp32 softmax output of Megatron's
+#: cross-entropy).
+LOGITS_WORKSPACE_FACTOR = 5.0
+
+
+
+@dataclass(frozen=True)
+class BlockCosts:
+    """Resource footprint of one block for one micro-batch."""
+
+    #: forward FLOPs for one micro-batch.
+    fwd_flops: float
+    #: backward FLOPs (2x forward), excluding any checkpoint recompute.
+    bwd_flops: float
+    #: trainable parameter count.
+    params: float
+    #: bytes of the activation tensor this block outputs (what crosses a
+    #: stage boundary placed after this block).
+    activation_out_bytes: float
+    #: bytes stashed per in-flight micro-batch under activation
+    #: checkpointing (the block's input tensor).
+    stash_bytes: float
+    #: transient working-set bytes while executing (full intermediate
+    #: activations, freed as soon as the block finishes).
+    workspace_bytes: float
+
+
+def _hidden_activation_bytes(cfg: ModelConfig, mbs: int, dtype_bytes: int) -> float:
+    return float(mbs) * cfg.seq_length * cfg.hidden_size * dtype_bytes
+
+
+def attention_fwd_flops(cfg: ModelConfig, mbs: int) -> float:
+    """QKV projection + attention matmuls + output projection."""
+    b, s, h = mbs, cfg.seq_length, cfg.hidden_size
+    qkv = 2.0 * b * s * h * 3 * h
+    scores = 2.0 * b * s * s * h          # Q @ K^T
+    context = 2.0 * b * s * s * h         # softmax(scores) @ V
+    proj = 2.0 * b * s * h * h
+    return qkv + scores + context + proj
+
+
+def ffn_fwd_flops(cfg: ModelConfig, mbs: int) -> float:
+    b, s, h, f = mbs, cfg.seq_length, cfg.hidden_size, cfg.ffn_hidden_size
+    return 2.0 * b * s * h * f * 2
+
+
+def lm_head_fwd_flops(cfg: ModelConfig, mbs: int) -> float:
+    b, s, h, v = mbs, cfg.seq_length, cfg.hidden_size, cfg.vocab_size
+    return 2.0 * b * s * h * v
+
+
+def embedding_fwd_flops(cfg: ModelConfig, mbs: int) -> float:
+    # Lookup + position add + layernorm: bandwidth bound, tiny FLOP count.
+    b, s, h = mbs, cfg.seq_length, cfg.hidden_size
+    return 10.0 * b * s * h
+
+
+def attention_params(cfg: ModelConfig) -> float:
+    h = cfg.hidden_size
+    return 4.0 * h * h + 4.0 * h + 2.0 * h  # QKV+proj weights, biases, LN
+
+
+def ffn_params(cfg: ModelConfig) -> float:
+    h, f = cfg.hidden_size, cfg.ffn_hidden_size
+    return 2.0 * h * f + h + f + 2.0 * h
+
+
+def embedding_params(cfg: ModelConfig) -> float:
+    return float(cfg.vocab_size) * cfg.hidden_size + cfg.seq_length * cfg.hidden_size
+
+
+def block_costs(block: Block, cfg: ModelConfig, mbs: int, dtype_bytes: int = 2) -> BlockCosts:
+    """Cost footprint of ``block`` for one micro-batch of size ``mbs``.
+
+    Raises ``ValueError`` for unknown block kinds so the cost model can
+    never silently return zeros for a new block type.
+    """
+    if mbs <= 0:
+        raise ValueError(f"micro-batch size must be positive, got {mbs}")
+    act = _hidden_activation_bytes(cfg, mbs, dtype_bytes)
+    b, s, h, v = mbs, cfg.seq_length, cfg.hidden_size, cfg.vocab_size
+
+    if block.kind is BlockKind.ATTENTION:
+        fwd = attention_fwd_flops(cfg, mbs)
+        # Working set: QKV (3bsh) + scores (b*heads*s*s) + context (bsh).
+        workspace = (4.0 * b * s * h + b * cfg.num_heads * s * s) * dtype_bytes
+        return BlockCosts(
+            fwd, 2 * fwd, attention_params(cfg), act,
+            STASH_FACTOR * act, workspace,
+        )
+    if block.kind is BlockKind.FFN:
+        fwd = ffn_fwd_flops(cfg, mbs)
+        workspace = 2.0 * b * s * cfg.ffn_hidden_size * dtype_bytes
+        return BlockCosts(
+            fwd, 2 * fwd, ffn_params(cfg), act, STASH_FACTOR * act, workspace
+        )
+    if block.kind is BlockKind.EMBEDDING:
+        fwd = embedding_fwd_flops(cfg, mbs)
+        # Input is token ids (4 bytes each), stash is tiny; output is hidden.
+        return BlockCosts(
+            fwd, 2 * fwd, embedding_params(cfg), act,
+            float(b) * s * 4, act,
+        )
+    if block.kind is BlockKind.FINAL_NORM:
+        fwd = 8.0 * b * s * h
+        return BlockCosts(fwd, 2 * fwd, 2.0 * h, act, act, act)
+    if block.kind is BlockKind.LM_HEAD:
+        fwd = lm_head_fwd_flops(cfg, mbs)
+        logits = float(b) * s * v * dtype_bytes
+        # Weight tied with the embedding: no extra parameters counted here.
+        return BlockCosts(
+            fwd, 2 * fwd, 0.0, logits, act, LOGITS_WORKSPACE_FACTOR * logits
+        )
+    if block.kind is BlockKind.BERT_HEAD:
+        # Pooler (h x h on [CLS]) + MLM transform (h x h over all tokens)
+        # + tied vocab projection.  Megatron projects every position and
+        # applies the 15% mask to the loss only, so the GEMM is full-size.
+        fwd = 2.0 * b * h * h + 2.0 * b * s * h * h + lm_head_fwd_flops(cfg, mbs)
+        logits = float(b) * s * v * dtype_bytes
+        return BlockCosts(
+            fwd, 2 * fwd, 2.0 * h * h + 2.0 * h, logits, act,
+            LOGITS_WORKSPACE_FACTOR * logits,
+        )
+    raise ValueError(f"no cost model for block kind {block.kind!r}")
+
+
+def model_params(cfg: ModelConfig) -> float:
+    """Total trainable parameters of the model, for Table I sanity checks."""
+    from repro.models.transformer import build_blocks  # local import: cycle
+
+    return sum(block_costs(b, cfg, 1).params for b in build_blocks(cfg))

@@ -1,0 +1,66 @@
+"""Builders that turn a :class:`ModelConfig` into a block sequence.
+
+GPT-2 models:  ``Embedding, (Attention, FFN) * L, FinalNorm, LMHead``.
+BERT models:   ``Embedding, (Attention, FFN) * L, FinalNorm, BertHead``.
+
+The attention/FFN pairs are the sub-layer granularity of paper Fig. 3; the
+builders also expose a layer-granularity view used by the granularity
+ablation (a "layer" is the contiguous pair of sub-layer blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.config import ModelConfig
+from repro.models.blocks import Block, BlockKind
+
+
+def build_blocks(cfg: ModelConfig) -> List[Block]:
+    """The model's full block sequence in execution order."""
+    blocks: List[Block] = [Block(0, BlockKind.EMBEDDING)]
+    idx = 1
+    for layer in range(cfg.num_layers):
+        blocks.append(Block(idx, BlockKind.ATTENTION, layer)); idx += 1
+        blocks.append(Block(idx, BlockKind.FFN, layer)); idx += 1
+    blocks.append(Block(idx, BlockKind.FINAL_NORM)); idx += 1
+    head = BlockKind.BERT_HEAD if cfg.is_bert else BlockKind.LM_HEAD
+    blocks.append(Block(idx, head))
+    return blocks
+
+
+def layer_groups(blocks: Sequence[Block]) -> List[Tuple[int, ...]]:
+    """Group block indices into layer-granularity units.
+
+    Non-transformer blocks form singleton groups attached to the adjacent
+    transformer layer side (embedding joins the front, norm/head the back),
+    mirroring how Megatron-LM treats pre/post-process as part of the first
+    and last stage.  Used by the layer-granularity ablation planner.
+    """
+    groups: List[Tuple[int, ...]] = []
+    pending: List[int] = []
+    for block in blocks:
+        if block.kind is BlockKind.ATTENTION:
+            if pending and groups:
+                # Trailing singletons between layers shouldn't occur, but be
+                # safe: flush anything pending into its own group.
+                groups.append(tuple(pending))
+                pending = []
+            pending.append(block.index)
+        elif block.kind is BlockKind.FFN:
+            pending.append(block.index)
+            groups.append(tuple(pending))
+            pending = []
+        else:
+            pending.append(block.index)
+    if pending:
+        if groups:
+            groups[-1] = groups[-1] + tuple(pending)
+        else:
+            groups.append(tuple(pending))
+    return groups
+
+
+def transformer_layer_count(blocks: Sequence[Block]) -> float:
+    """Number of transformer layers represented by ``blocks`` (Table II units)."""
+    return sum(b.layer_fraction for b in blocks)

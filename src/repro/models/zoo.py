@@ -1,0 +1,43 @@
+"""The benchmark model zoo — Table I of the paper.
+
+| Model      | layers | hidden | params (M) |
+|------------|--------|--------|------------|
+| GPT-2 345M | 24     | 1024   | 345        |
+| GPT-2 762M | 36     | 1280   | 762        |
+| GPT-2 1.3B | 24     | 2048   | 1314       |
+| BERT-large | 24     | 1024   | 340        |
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import ModelConfig
+
+GPT2_345M = ModelConfig(
+    name="gpt2-345m", num_layers=24, hidden_size=1024, num_heads=16,
+)
+GPT2_762M = ModelConfig(
+    name="gpt2-762m", num_layers=36, hidden_size=1280, num_heads=20,
+)
+GPT2_1_3B = ModelConfig(
+    name="gpt2-1.3b", num_layers=24, hidden_size=2048, num_heads=32,
+)
+BERT_LARGE = ModelConfig(
+    name="bert-large", num_layers=24, hidden_size=1024, num_heads=16,
+    seq_length=512, vocab_size=30522, is_bert=True,
+)
+
+MODEL_ZOO: Dict[str, ModelConfig] = {
+    m.name: m for m in (GPT2_345M, GPT2_762M, GPT2_1_3B, BERT_LARGE)
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a benchmark model by name (raises ``KeyError`` with options)."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None

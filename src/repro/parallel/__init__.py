@@ -1,0 +1,19 @@
+"""Parallelism composition: DP x PP grids, gradient sync, memory prediction."""
+
+from repro.parallel.data_parallel import allreduce_seconds, gradient_bytes
+from repro.parallel.grid import ParallelLayout, layouts_for
+from repro.parallel.memory_model import (
+    interleaved_stage_memory,
+    pipeline_fits,
+    stage_memory,
+)
+
+__all__ = [
+    "ParallelLayout",
+    "layouts_for",
+    "allreduce_seconds",
+    "gradient_bytes",
+    "stage_memory",
+    "interleaved_stage_memory",
+    "pipeline_fits",
+]

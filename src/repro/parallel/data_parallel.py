@@ -1,0 +1,36 @@
+"""Data-parallel gradient synchronisation costs.
+
+Synchronous pipeline + data parallelism performs one ring allreduce of each
+stage's gradients per iteration, across the stage's data-parallel group.
+Gradients are reduced in fp32 (Megatron's main-grad buffers).  Gradient
+accumulation across micro-batches is free (it happens in the BP kernels).
+"""
+
+from __future__ import annotations
+
+from repro.config import HardwareConfig
+from repro.hardware.comm import CommModel
+
+#: Megatron reduces fp32 main gradients.
+GRAD_DTYPE_BYTES = 4
+
+
+def gradient_bytes(stage_params: float) -> float:
+    """Bytes allreduced for one pipeline stage per iteration."""
+    if stage_params < 0:
+        raise ValueError("negative parameter count")
+    return stage_params * GRAD_DTYPE_BYTES
+
+
+def allreduce_seconds(
+    stage_params: float, data_parallel: int, hw: HardwareConfig
+) -> float:
+    """Ring-allreduce time of one stage's gradients over its DP group.
+
+    DP groups of a multi-node cluster always include inter-node links,
+    which dominate the ring; we charge the inter-node figure (a DP group
+    entirely inside one node is the uncommon case in the paper's setups).
+    """
+    return CommModel(hw).allreduce_time(
+        gradient_bytes(stage_params), data_parallel, inter_node=True
+    )

@@ -1,0 +1,113 @@
+"""Analytic per-stage GPU memory prediction.
+
+Per-device memory under synchronous pipeline training decomposes into:
+
+* **static** — weights, gradients, optimizer state and master copies:
+  ``params * TrainConfig.bytes_per_param_state``;
+* **activation stash** — with activation checkpointing each in-flight
+  micro-batch stashes one input tensor per block; 1F1B keeps
+  ``min(m, n - stage)`` micro-batches in flight, GPipe keeps all ``m``, and
+  the interleaved schedule keeps ``2 (n - stage - 1) + (v - 1) n + 1``
+  *units* in flight (its warmup depth), each stashing one chunk's share —
+  this is the extra memory that makes the interleaved schedule OOM at
+  large micro-batch sizes (paper Fig. 14(a));
+* **workspace** — the largest transient working set of any block on the
+  stage (attention score matrices, FFN intermediates, fp16+fp32 logits).
+
+The DES measures the same quantities from the executed schedule; the tests
+assert both views agree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.partition import PartitionScheme
+from repro.profiling.modelconfig import ModelProfile
+
+
+def _stage_static(profile: ModelProfile, block_ids: Sequence[int]) -> float:
+    params = sum(profile.blocks[i].params for i in block_ids)
+    return params * profile.train.bytes_per_param_state
+
+
+def _stage_stash(profile: ModelProfile, block_ids: Sequence[int]) -> float:
+    return sum(profile.blocks[i].stash_bytes for i in block_ids)
+
+
+def _stage_workspace(profile: ModelProfile, block_ids: Sequence[int]) -> float:
+    return max(profile.blocks[i].workspace_bytes for i in block_ids)
+
+
+def in_flight_1f1b(num_stages: int, num_micro_batches: int, stage: int) -> int:
+    """Micro-batches a 1F1B stage holds simultaneously."""
+    if not 0 <= stage < num_stages:
+        raise ValueError(f"stage {stage} out of range")
+    return min(num_micro_batches, num_stages - stage)
+
+
+def stage_memory(
+    profile: ModelProfile,
+    partition: PartitionScheme,
+    stage: int,
+    num_micro_batches: int,
+    *,
+    schedule: str = "1f1b",
+) -> float:
+    """Predicted peak bytes of one pipeline stage ("1f1b" or "gpipe")."""
+    blocks = partition.stages[stage]
+    n = partition.num_stages
+    if schedule == "1f1b":
+        in_flight = in_flight_1f1b(n, num_micro_batches, stage)
+    elif schedule == "gpipe":
+        in_flight = num_micro_batches
+    else:
+        raise ValueError(f"unknown schedule {schedule!r}")
+    return (
+        _stage_static(profile, blocks)
+        + in_flight * _stage_stash(profile, blocks)
+        + _stage_workspace(profile, blocks)
+    )
+
+
+def interleaved_stage_memory(
+    profile: ModelProfile,
+    chunk_blocks: Sequence[Sequence[int]],
+    stage: int,
+    num_stages: int,
+    num_micro_batches: int,
+) -> float:
+    """Predicted peak bytes of one device under the interleaved schedule.
+
+    ``chunk_blocks`` are the v model chunks resident on this device.
+    """
+    v = len(chunk_blocks)
+    if v == 0:
+        raise ValueError("a device needs at least one chunk")
+    all_blocks = [i for chunk in chunk_blocks for i in chunk]
+    warmup_units = 2 * (num_stages - stage - 1) + (v - 1) * num_stages + 1
+    in_flight_units = min(num_micro_batches * v, warmup_units)
+    per_unit_stash = sum(
+        _stage_stash(profile, chunk) for chunk in chunk_blocks
+    ) / v
+    return (
+        _stage_static(profile, all_blocks)
+        + in_flight_units * per_unit_stash
+        + _stage_workspace(profile, all_blocks)
+    )
+
+
+def pipeline_fits(
+    profile: ModelProfile,
+    partition: PartitionScheme,
+    num_micro_batches: int,
+    *,
+    schedule: str = "1f1b",
+) -> List[int]:
+    """Stages predicted to exceed GPU memory (empty list = the plan fits)."""
+    capacity = profile.hardware.gpu_memory
+    return [
+        s for s in range(partition.num_stages)
+        if stage_memory(profile, partition, s, num_micro_batches, schedule=schedule)
+        > capacity
+    ]

@@ -1,0 +1,6 @@
+"""Offline profiling producing the Planner's "model configs" input."""
+
+from repro.profiling.modelconfig import BlockProfile, ModelProfile
+from repro.profiling.profiler import profile_model
+
+__all__ = ["BlockProfile", "ModelProfile", "profile_model"]

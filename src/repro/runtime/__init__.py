@@ -1,0 +1,16 @@
+"""Runtime: execute planned pipelines on the DES and extract metrics."""
+
+from repro.runtime.metrics import balance_improvement, speedup
+from repro.runtime.trainer import (
+    IterationResult,
+    run_iteration,
+    run_pipeline,
+)
+
+__all__ = [
+    "IterationResult",
+    "run_iteration",
+    "run_pipeline",
+    "speedup",
+    "balance_improvement",
+]

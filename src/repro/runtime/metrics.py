@@ -1,0 +1,32 @@
+"""Shared metric helpers for the evaluation experiments."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How much faster the candidate is (>1 means faster)."""
+    if candidate_seconds <= 0:
+        raise ValueError("candidate time must be positive")
+    return baseline_seconds / candidate_seconds
+
+
+def balance_std(stage_seconds: Sequence[float]) -> float:
+    """Std-dev of per-stage busy time — the paper's balance metric (Fig 13)."""
+    if not stage_seconds:
+        raise ValueError("no stages")
+    return float(np.std(np.asarray(stage_seconds, dtype=float)))
+
+
+def balance_improvement(
+    baseline_stage_seconds: Sequence[float],
+    candidate_stage_seconds: Sequence[float],
+) -> float:
+    """Ratio of balance std-devs (>1: candidate is more balanced)."""
+    denom = balance_std(candidate_stage_seconds)
+    if denom == 0:
+        return float("inf")
+    return balance_std(baseline_stage_seconds) / denom

@@ -1,0 +1,33 @@
+"""Pipeline schedule IR and builders (Megatron 1F1B, interleaved, GPipe, sliced)."""
+
+from repro.schedules.base import (
+    ComputeOp,
+    CommOp,
+    Schedule,
+    Transfer,
+    Unit,
+    full_units,
+)
+from repro.schedules.gpipe import build_gpipe
+from repro.schedules.interleaved import (
+    InterleavedInfeasible,
+    build_interleaved,
+    interleaved_chunks,
+)
+from repro.schedules.one_f_one_b import build_1f1b
+from repro.schedules.sliced import build_sliced
+
+__all__ = [
+    "ComputeOp",
+    "CommOp",
+    "Schedule",
+    "Transfer",
+    "Unit",
+    "full_units",
+    "build_gpipe",
+    "build_1f1b",
+    "build_sliced",
+    "build_interleaved",
+    "interleaved_chunks",
+    "InterleavedInfeasible",
+]

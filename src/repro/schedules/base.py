@@ -1,0 +1,176 @@
+"""Schedule intermediate representation executed by the DES.
+
+A :class:`Schedule` is one ordered program per device.  Programs contain:
+
+* :class:`ComputeOp` — a forward/backward pass of one *unit* (a micro-batch
+  or a sliced half) with a concrete duration and memory behaviour;
+* :class:`CommOp` — a point-to-point exchange with one peer device.  With
+  ``rendezvous=True`` (NCCL synchronous p2p) both sides must reach their
+  matching op before the transfer starts — this is what makes the Slicer's
+  warmup blockage observable.  With ``rendezvous=False`` the sender deposits
+  the payload eagerly and only the receiver waits (buffered isend
+  semantics, used by the interleaved and GPipe schedules).
+
+Matching rule: a ``CommOp`` on device A matches the first unmatched
+``CommOp`` on peer B whose transfer tag set is identical.  Builders must
+emit mirror-image ops; the engine verifies the invariant and raises on
+deadlock instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: A schedule unit: (micro_batch, half) where half is -1 (whole), 0 or 1.
+Unit = Tuple[int, int]
+
+
+def full_units(num_micro_batches: int) -> List[Unit]:
+    """The trivial unit sequence: every micro-batch whole."""
+    if num_micro_batches <= 0:
+        raise ValueError("need at least one micro-batch")
+    return [(mb, -1) for mb in range(num_micro_batches)]
+
+
+def unit_fraction(unit: Unit) -> float:
+    """Fraction of a full micro-batch this unit carries."""
+    return 1.0 if unit[1] == -1 else 0.5
+
+
+def unit_label(unit: Unit) -> str:
+    mb, half = unit
+    return f"{mb}" if half == -1 else f"{mb}{'ab'[half]}"
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """One forward or backward pass executed on a device."""
+
+    kind: str                 # "F" or "B"
+    unit: Unit
+    duration: float
+    #: bytes allocated when the op starts and held until released by a
+    #: later op (activation stash for "F"; zero for "B").
+    alloc_bytes: float = 0.0
+    #: bytes released when the op ends (the stash freed by a "B").
+    free_bytes: float = 0.0
+    #: transient bytes live only while the op runs.
+    workspace_bytes: float = 0.0
+    #: warmup / steady / cooldown — drives the startup-overhead metric.
+    phase: str = "steady"
+    #: which model chunk the op belongs to (interleaved schedules).
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("F", "B"):
+            raise ValueError(f"compute kind must be F or B, got {self.kind!r}")
+        if self.duration < 0:
+            raise ValueError("negative duration")
+
+    def label(self) -> str:
+        return f"{self.kind}({unit_label(self.unit)})"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One directed payload inside a CommOp."""
+
+    tag: str
+    src: int
+    dst: int
+    bytes: float
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ValueError("negative transfer size")
+        if self.src == self.dst:
+            raise ValueError("transfer to self")
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """A (possibly bidirectional) exchange with a single peer device."""
+
+    device: int
+    peer: int
+    transfers: Tuple[Transfer, ...]
+    rendezvous: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.transfers:
+            raise ValueError("CommOp needs at least one transfer")
+        for t in self.transfers:
+            if {t.src, t.dst} != {self.device, self.peer}:
+                raise ValueError(
+                    f"transfer {t.tag} endpoints {t.src}->{t.dst} do not "
+                    f"match op pair ({self.device}, {self.peer})"
+                )
+
+    @property
+    def tag_set(self) -> frozenset:
+        return frozenset(t.tag for t in self.transfers)
+
+    def sends(self) -> List[Transfer]:
+        return [t for t in self.transfers if t.src == self.device]
+
+    def receives(self) -> List[Transfer]:
+        return [t for t in self.transfers if t.dst == self.device]
+
+    def label(self) -> str:
+        parts = [
+            ("→" if t.src == self.device else "←") + t.tag for t in self.transfers
+        ]
+        return "comm[" + ",".join(parts) + "]"
+
+
+@dataclass
+class Schedule:
+    """Per-device programs plus bookkeeping for metrics."""
+
+    name: str
+    programs: List[List[object]]           # ComputeOp | CommOp per device
+    #: static (weights + optimizer state) bytes resident per device.
+    static_bytes: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise ValueError("a schedule needs at least one device program")
+        if not self.static_bytes:
+            self.static_bytes = [0.0] * len(self.programs)
+        if len(self.static_bytes) != len(self.programs):
+            raise ValueError("static_bytes length mismatch")
+        for dev, program in enumerate(self.programs):
+            for op in program:
+                if isinstance(op, CommOp) and op.device != dev:
+                    raise ValueError(
+                        f"CommOp for device {op.device} placed on device {dev}"
+                    )
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.programs)
+
+    def compute_ops(self, device: int) -> List[ComputeOp]:
+        return [op for op in self.programs[device] if isinstance(op, ComputeOp)]
+
+    def validate_comm_symmetry(self) -> None:
+        """Every CommOp must have exactly one mirror op on its peer."""
+        from collections import Counter
+
+        sides: Dict[Tuple[int, int], Counter] = {}
+        for dev, program in enumerate(self.programs):
+            for op in program:
+                if isinstance(op, CommOp):
+                    pair = (min(dev, op.peer), max(dev, op.peer))
+                    sides.setdefault(pair, Counter())[(dev, op.tag_set)] += 1
+        for pair, counter in sides.items():
+            a, b = pair
+            for (dev, tags), count in counter.items():
+                other = a if dev == b else b
+                if counter.get((other, tags), 0) != count:
+                    raise ValueError(
+                        f"unmatched comm between {a} and {b}: tags {sorted(tags)} "
+                        f"appear {count}x on {dev} but "
+                        f"{counter.get((other, tags), 0)}x on {other}"
+                    )

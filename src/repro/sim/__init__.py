@@ -1,0 +1,12 @@
+"""Discrete-event simulator: the "real cluster" substrate of the reproduction."""
+
+from repro.sim.engine import DeadlockError, Engine, ExecutionResult, execute
+from repro.sim.timeline import TimelineEvent
+
+__all__ = [
+    "DeadlockError",
+    "Engine",
+    "ExecutionResult",
+    "execute",
+    "TimelineEvent",
+]

@@ -1,0 +1,269 @@
+"""The discrete-event execution engine.
+
+Executes a :class:`repro.schedules.base.Schedule` over a
+:class:`repro.hardware.cluster.Cluster`, honouring:
+
+* **in-order device programs** — a device runs its ops strictly in schedule
+  order (this is what turns an unbalanced partition into observable
+  bubbles);
+* **rendezvous communication** — a synchronous CommOp starts only once
+  *both* endpoints reach their matching op (NCCL p2p), which reproduces the
+  Slicer's warmup blockage; eager CommOps instead deposit payloads so only
+  the receiver waits;
+* **full-duplex links** — the two directions of one exchange overlap, so a
+  bidirectional exchange costs the same as the slower direction (the
+  paper's observation that bidirectional == unidirectional);
+* **memory accounting** — activation stashes are allocated at FP start and
+  released at BP end; the per-device peak is checked against GPU capacity.
+
+The engine never busy-waits: it repeatedly sweeps devices, advancing each
+as far as possible; a sweep with no progress and unfinished programs is a
+deadlock and raises :class:`DeadlockError` with a per-device diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.comm import CommModel
+from repro.schedules.base import CommOp, ComputeOp, Schedule
+from repro.sim.timeline import TimelineEvent, busy_time, first_compute_start
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no device can advance but programs are unfinished."""
+
+
+@dataclass
+class ExecutionResult:
+    """Everything measured from one executed schedule."""
+
+    schedule_name: str
+    iteration_time: float
+    events: List[TimelineEvent]
+    peak_memory: List[float]
+    oom_devices: List[int]
+    num_devices: int
+
+    @property
+    def oom(self) -> bool:
+        return bool(self.oom_devices)
+
+    def busy_time(self, device: int) -> float:
+        return busy_time(self.events, device)
+
+    def bubble_fraction(self, device: int) -> float:
+        if self.iteration_time <= 0:
+            return 0.0
+        return 1.0 - self.busy_time(device) / self.iteration_time
+
+    def first_forward_start(self, device: int) -> float:
+        """When ``device`` first begins forward compute (startup metric)."""
+        return first_compute_start(self.events, device, "F")
+
+
+@dataclass
+class _DeviceState:
+    pc: int = 0
+    clock: float = 0.0
+    held_bytes: float = 0.0
+    peak_bytes: float = 0.0
+    #: set when the device is parked on an unmatched rendezvous op.
+    waiting_key: Optional[Tuple] = None
+
+
+class Engine:
+    """Executes one schedule; construct per run (holds mutable state)."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        cluster: Cluster,
+        *,
+        device_map: Optional[List[int]] = None,
+        check_symmetry: bool = True,
+    ) -> None:
+        self.schedule = schedule
+        self.cluster = cluster
+        self.comm = CommModel(cluster.hw)
+        n = schedule.num_devices
+        if device_map is None:
+            device_map = list(range(n))
+        if len(device_map) != n:
+            raise ValueError("device_map must cover every schedule device")
+        for d in device_map:
+            cluster._check(d)
+        self.device_map = device_map
+        if check_symmetry:
+            schedule.validate_comm_symmetry()
+
+        self._states = [_DeviceState() for _ in range(n)]
+        self._events: List[TimelineEvent] = []
+        #: rendezvous posts: (pair, tag_set) -> (device, ready_time)
+        self._posts: Dict[Tuple, Tuple[int, float]] = {}
+        #: eager deposits: tag -> arrival time
+        self._deposits: Dict[str, float] = {}
+
+    # -- comm timing -------------------------------------------------------
+
+    def _direction_time(self, src: int, dst: int, num_bytes: float) -> float:
+        if num_bytes <= 0:
+            return 0.0
+        return self.comm.p2p_time_between(
+            self.cluster, self.device_map[src], self.device_map[dst], num_bytes
+        )
+
+    def _exchange_time(self, op: CommOp) -> float:
+        """Full-duplex: the exchange lasts as long as its slower direction."""
+        fwd = sum(t.bytes for t in op.transfers if t.src == op.device)
+        bwd = sum(t.bytes for t in op.transfers if t.dst == op.device)
+        return max(
+            self._direction_time(op.device, op.peer, fwd),
+            self._direction_time(op.peer, op.device, bwd),
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        n = self.schedule.num_devices
+        programs = self.schedule.programs
+        progress = True
+        while progress:
+            progress = False
+            for dev in range(n):
+                while self._advance(dev):
+                    progress = True
+        finished = all(
+            self._states[d].pc == len(programs[d]) for d in range(n)
+        )
+        if not finished:
+            raise DeadlockError(self._diagnose())
+
+        iteration_time = max(
+            (e.end for e in self._events), default=0.0
+        )
+        peaks = [
+            self.schedule.static_bytes[d] + self._states[d].peak_bytes
+            for d in range(n)
+        ]
+        capacity = self.cluster.hw.gpu_memory
+        ooms = [d for d in range(n) if peaks[d] > capacity]
+        return ExecutionResult(
+            schedule_name=self.schedule.name,
+            iteration_time=iteration_time,
+            events=self._events,
+            peak_memory=peaks,
+            oom_devices=ooms,
+            num_devices=n,
+        )
+
+    def _advance(self, dev: int) -> bool:
+        """Try to execute the next op of ``dev``; True if it ran."""
+        program = self.schedule.programs[dev]
+        state = self._states[dev]
+        if state.pc >= len(program) or state.waiting_key is not None:
+            return False
+        op = program[state.pc]
+        if isinstance(op, ComputeOp):
+            self._run_compute(dev, op)
+            return True
+        assert isinstance(op, CommOp)
+        if op.rendezvous:
+            return self._run_rendezvous(dev, op)
+        return self._run_eager(dev, op)
+
+    def _run_compute(self, dev: int, op: ComputeOp) -> None:
+        state = self._states[dev]
+        start = state.clock
+        end = start + op.duration
+        state.held_bytes += op.alloc_bytes
+        state.peak_bytes = max(
+            state.peak_bytes, state.held_bytes + op.workspace_bytes
+        )
+        state.held_bytes -= op.free_bytes
+        state.clock = end
+        state.pc += 1
+        self._events.append(
+            TimelineEvent(dev, op.kind, op.label(), start, end, op.phase)
+        )
+
+    def _run_rendezvous(self, dev: int, op: CommOp) -> bool:
+        pair = (min(dev, op.peer), max(dev, op.peer))
+        key = (pair, op.tag_set)
+        state = self._states[dev]
+        posted = self._posts.get(key)
+        if posted is None or posted[0] == dev:
+            if posted is None:
+                self._posts[key] = (dev, state.clock)
+                state.waiting_key = key
+            return False
+        peer, peer_ready = posted
+        del self._posts[key]
+        peer_state = self._states[peer]
+        start = max(state.clock, peer_ready)
+        end = start + self._exchange_time(op)
+        for d, s in ((dev, state), (peer, peer_state)):
+            s.clock = end
+            s.pc += 1
+            s.waiting_key = None
+        self._events.append(
+            TimelineEvent(dev, "comm", op.label(), start, end)
+        )
+        self._events.append(
+            TimelineEvent(peer, "comm", op.label(), start, end)
+        )
+        return True
+
+    def _run_eager(self, dev: int, op: CommOp) -> bool:
+        state = self._states[dev]
+        receives = op.receives()
+        arrivals = []
+        for t in receives:
+            arrival = self._deposits.get(t.tag)
+            if arrival is None:
+                return False  # payload not sent yet; stay parked (no post)
+            arrivals.append(arrival)
+        start = state.clock
+        for t in receives:
+            del self._deposits[t.tag]
+        clock = max([state.clock, *arrivals]) if arrivals else state.clock
+        for t in op.sends():
+            self._deposits[t.tag] = clock + self._direction_time(
+                dev, op.peer, t.bytes
+            )
+        if op.sends():
+            # Posting an eager send costs one launch latency on the sender.
+            clock += self.cluster.hw.link_latency
+        state.clock = clock
+        state.pc += 1
+        self._events.append(
+            TimelineEvent(dev, "comm", op.label(), start, clock)
+        )
+        return True
+
+    def _diagnose(self) -> str:
+        lines = ["pipeline deadlock; per-device state:"]
+        for dev, state in enumerate(self._states):
+            program = self.schedule.programs[dev]
+            if state.pc >= len(program):
+                lines.append(f"  dev{dev}: finished")
+                continue
+            op = program[state.pc]
+            label = op.label() if hasattr(op, "label") else repr(op)
+            lines.append(
+                f"  dev{dev}: blocked at op {state.pc}/{len(program)} "
+                f"{label} (clock={state.clock:.6f})"
+            )
+        return "\n".join(lines)
+
+
+def execute(
+    schedule: Schedule,
+    cluster: Cluster,
+    *,
+    device_map: Optional[List[int]] = None,
+) -> ExecutionResult:
+    """Convenience wrapper: build an engine and run the schedule once."""
+    return Engine(schedule, cluster, device_map=device_map).run()

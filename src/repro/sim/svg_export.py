@@ -1,0 +1,106 @@
+"""Render DES timelines as standalone SVG Gantt charts.
+
+Produces a self-contained SVG (no external assets) with one lane per
+device: forward compute in green, backward in blue, communication in
+amber.  Useful for papers/READMEs where the ASCII chart is too coarse and
+a Chrome trace is too heavy.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, List, Union
+
+from repro.sim.timeline import TimelineEvent
+
+_FILL = {"F": "#4c9f70", "B": "#4a7fb5", "comm": "#d9a441"}
+
+_LANE_HEIGHT = 26
+_LANE_GAP = 6
+_MARGIN_LEFT = 64
+_MARGIN_TOP = 28
+_MARGIN_BOTTOM = 24
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def timeline_to_svg(
+    events: Iterable[TimelineEvent],
+    num_devices: int,
+    *,
+    width: int = 960,
+    title: str = "pipeline timeline",
+) -> str:
+    """Build the SVG document for a timeline as a string."""
+    evs = sorted(events, key=lambda e: (e.device, e.start))
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    horizon = max((e.end for e in evs), default=0.0)
+    chart_w = width - _MARGIN_LEFT - 8
+    height = (
+        _MARGIN_TOP + num_devices * (_LANE_HEIGHT + _LANE_GAP)
+        + _MARGIN_BOTTOM
+    )
+
+    def x(t: float) -> float:
+        return _MARGIN_LEFT + (t / horizon * chart_w if horizon > 0 else 0.0)
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">',
+        f'<title>{_esc(title)}</title>',
+        f'<text x="{_MARGIN_LEFT}" y="16">{_esc(title)}'
+        f' — horizon {horizon * 1e3:.1f} ms</text>',
+    ]
+    for dev in range(num_devices):
+        y = _MARGIN_TOP + dev * (_LANE_HEIGHT + _LANE_GAP)
+        parts.append(
+            f'<text x="4" y="{y + _LANE_HEIGHT * 0.7:.1f}">stage {dev}</text>'
+        )
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{chart_w}" '
+            f'height="{_LANE_HEIGHT}" fill="#f2f2f0"/>'
+        )
+    for e in evs:
+        y = _MARGIN_TOP + e.device * (_LANE_HEIGHT + _LANE_GAP)
+        x0, x1 = x(e.start), x(e.end)
+        w = max(x1 - x0, 0.5)
+        fill = _FILL.get(e.category, "#999999")
+        h = _LANE_HEIGHT if e.category != "comm" else _LANE_HEIGHT * 0.45
+        y0 = y if e.category != "comm" else y + _LANE_HEIGHT * 0.55
+        parts.append(
+            f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill="{fill}" stroke="#ffffff" '
+            f'stroke-width="0.3"><title>{_esc(e.label)} '
+            f'[{e.start * 1e3:.2f}, {e.end * 1e3:.2f}] ms</title></rect>'
+        )
+    axis_y = height - _MARGIN_BOTTOM + 12
+    parts.append(
+        f'<text x="{_MARGIN_LEFT}" y="{axis_y}">0 ms</text>'
+    )
+    parts.append(
+        f'<text x="{width - 90}" y="{axis_y}">{horizon * 1e3:.1f} ms</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def export_svg(
+    events: Iterable[TimelineEvent],
+    num_devices: int,
+    destination: Union[str, IO[str]],
+    **kwargs,
+) -> str:
+    """Write the SVG to a path or stream; returns the document."""
+    doc = timeline_to_svg(events, num_devices, **kwargs)
+    if hasattr(destination, "write"):
+        destination.write(doc)  # type: ignore[union-attr]
+    else:
+        with open(destination, "w") as fh:
+            fh.write(doc)
+    return doc

@@ -1,0 +1,94 @@
+"""Timeline records produced by the DES, plus small analysis helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One executed operation on one device."""
+
+    device: int
+    category: str          # "F", "B" or "comm"
+    label: str
+    start: float
+    end: float
+    phase: str = ""        # warmup/steady/cooldown for compute events
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("event ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def device_events(
+    events: Iterable[TimelineEvent], device: int, category: Optional[str] = None
+) -> List[TimelineEvent]:
+    return [
+        e for e in events
+        if e.device == device and (category is None or e.category == category)
+    ]
+
+
+def busy_time(events: Iterable[TimelineEvent], device: int) -> float:
+    """Total compute-busy seconds of one device."""
+    return sum(e.duration for e in device_events(events, device)
+               if e.category in ("F", "B"))
+
+
+def first_compute_start(
+    events: Iterable[TimelineEvent], device: int, category: str = "F"
+) -> float:
+    starts = [e.start for e in device_events(events, device, category)]
+    if not starts:
+        raise ValueError(f"device {device} has no {category} events")
+    return min(starts)
+
+
+def idle_windows(
+    events: Iterable[TimelineEvent], device: int, horizon: float
+) -> List[Tuple[float, float]]:
+    """Gaps in which the device does neither compute nor communication."""
+    spans = sorted(
+        (e.start, e.end) for e in device_events(events, device)
+    )
+    gaps: List[Tuple[float, float]] = []
+    cursor = 0.0
+    for start, end in spans:
+        if start > cursor:
+            gaps.append((cursor, start))
+        cursor = max(cursor, end)
+    if horizon > cursor:
+        gaps.append((cursor, horizon))
+    return gaps
+
+
+def render_ascii(
+    events: Iterable[TimelineEvent],
+    num_devices: int,
+    *,
+    width: int = 100,
+) -> str:
+    """A coarse ASCII Gantt chart — handy for examples and debugging."""
+    evs = list(events)
+    if not evs:
+        return "(empty timeline)"
+    horizon = max(e.end for e in evs)
+    if horizon <= 0:
+        return "(zero-length timeline)"
+    rows = []
+    for dev in range(num_devices):
+        row = [" "] * width
+        for e in device_events(evs, dev):
+            a = int(e.start / horizon * (width - 1))
+            b = max(a + 1, int(e.end / horizon * (width - 1)))
+            ch = {"F": "F", "B": "B"}.get(e.category, ".")
+            for i in range(a, min(b, width)):
+                row[i] = ch
+        rows.append(f"dev{dev:<2}|" + "".join(row) + "|")
+    return "\n".join(rows)

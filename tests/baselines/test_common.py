@@ -1,0 +1,132 @@
+"""PlannedConfig / evaluate_config semantics tests."""
+
+import math
+
+import pytest
+
+from repro.baselines.common import (
+    PlannedConfig,
+    config_memory,
+    effective_stage_times,
+    evaluate_config,
+)
+from repro.core.balance_dp import balanced_partition
+
+
+def make_config(profile, stages, replicas, semantics="stream", planner="x"):
+    partition = balanced_partition(profile.block_times(), stages)
+    return PlannedConfig(
+        planner=planner,
+        partition=partition,
+        replicas=tuple(replicas),
+        num_gpus=sum(replicas),
+        search_seconds=0.0,
+        semantics=semantics,
+    )
+
+
+class TestPlannedConfig:
+    def test_replica_sum_checked(self, tiny_profile):
+        partition = balanced_partition(tiny_profile.block_times(), 2)
+        with pytest.raises(ValueError):
+            PlannedConfig(
+                planner="x", partition=partition, replicas=(2, 3),
+                num_gpus=4, search_seconds=0.0,
+            )
+
+    def test_replica_count_must_match_stages(self, tiny_profile):
+        partition = balanced_partition(tiny_profile.block_times(), 2)
+        with pytest.raises(ValueError):
+            PlannedConfig(
+                planner="x", partition=partition, replicas=(4,),
+                num_gpus=4, search_seconds=0.0,
+            )
+
+    def test_uniform_dp(self, tiny_profile):
+        assert make_config(tiny_profile, 2, (2, 2)).uniform_dp == 2
+        assert make_config(tiny_profile, 2, (1, 3)).uniform_dp is None
+
+    def test_semantics_validated(self, tiny_profile):
+        with pytest.raises(ValueError):
+            make_config(tiny_profile, 2, (1, 1), semantics="weird")
+
+
+class TestEffectiveStageTimes:
+    def test_stream_divides_exactly(self, tiny_profile):
+        p = balanced_partition(tiny_profile.block_times(), 2)
+        base = effective_stage_times(tiny_profile, p, (1, 1), 4, "stream")
+        halved = effective_stage_times(tiny_profile, p, (2, 2), 4, "stream")
+        for b, h in zip(base.fwd, halved.fwd):
+            assert h == pytest.approx(b / 2)
+
+    def test_subbatch_pays_ceil_padding(self, tiny_profile):
+        """3 replicas of a 4-sample micro-batch run 2-sample sub-batches."""
+        p = balanced_partition(tiny_profile.block_times(), 2)
+        r3 = effective_stage_times(tiny_profile, p, (1, 3), 4, "subbatch")
+        r2 = effective_stage_times(tiny_profile, p, (1, 2), 3, "subbatch")
+        base = effective_stage_times(tiny_profile, p, (1, 1), 4, "stream")
+        # ceil(4/3)=2 -> at least half the full time, plus GEMM penalty.
+        assert r3.fwd[1] > base.fwd[1] / 3
+        assert r3.fwd[1] > base.fwd[1] / 2
+
+    def test_subbatch_replicas_capped_at_mbs(self, tiny_profile):
+        p = balanced_partition(tiny_profile.block_times(), 2)
+        t = effective_stage_times(tiny_profile, p, (1, 9), 4, "subbatch")
+        assert t.fwd[1] > 0
+
+
+class TestEvaluateConfig:
+    def test_pure_dp_equivalent_to_serial_slice(self, tiny_profile):
+        cfg = make_config(tiny_profile, 1, (4,))
+        ev = evaluate_config(tiny_profile, cfg, 64)
+        # 16 micro-batches / dp4 -> 4 per replica, serial model.
+        expected = 4 * tiny_profile.total_time()
+        assert ev.pipeline_seconds == pytest.approx(expected, rel=0.02)
+
+    def test_subbatch_replica_overflow_is_runtime_error(self, tiny_profile):
+        cfg = make_config(tiny_profile, 2, (1, 7), semantics="subbatch")
+        ev = evaluate_config(tiny_profile, cfg, 64)
+        assert ev.runtime_error is not None
+        assert ev.failed
+
+    def test_stream_divisibility_error(self, tiny_profile):
+        cfg = make_config(tiny_profile, 2, (3, 3))
+        # 64/4 = 16 micro-batches, not divisible by 3.
+        ev = evaluate_config(tiny_profile, cfg, 64)
+        assert ev.runtime_error is not None
+
+    def test_allreduce_included(self, tiny_profile):
+        single = make_config(tiny_profile, 2, (1, 1))
+        wide = make_config(tiny_profile, 2, (4, 4))
+        ev1 = evaluate_config(tiny_profile, single, 64)
+        ev4 = evaluate_config(tiny_profile, wide, 64)
+        assert ev1.allreduce_seconds == 0.0
+        assert ev4.allreduce_seconds > 0.0
+
+    def test_stage_seconds_are_replica_independent(self, tiny_profile):
+        narrow = make_config(tiny_profile, 2, (1, 1))
+        wide = make_config(tiny_profile, 2, (2, 2))
+        e1 = evaluate_config(tiny_profile, narrow, 64)
+        e2 = evaluate_config(tiny_profile, wide, 64)
+        assert e1.stage_seconds == pytest.approx(e2.stage_seconds)
+
+    def test_indivisible_global_batch(self, tiny_profile):
+        cfg = make_config(tiny_profile, 2, (1, 1))
+        with pytest.raises(ValueError):
+            evaluate_config(tiny_profile, cfg, 65)
+
+
+class TestConfigMemory:
+    def test_stream_full_stash(self, tiny_profile):
+        p = balanced_partition(tiny_profile.block_times(), 2)
+        stream = config_memory(tiny_profile, p, (1, 1), 8, 4, "stream")
+        sub = config_memory(tiny_profile, p, (2, 2), 8, 4, "subbatch")
+        # Sub-batch replicas stash a fraction of each micro-batch.
+        assert sub[0] < stream[0]
+
+    def test_more_stages_less_static(self, tiny_profile):
+        p2 = balanced_partition(tiny_profile.block_times(), 2)
+        p4 = balanced_partition(tiny_profile.block_times(), 4)
+        m2 = config_memory(tiny_profile, p2, (1, 1), 8, 4, "stream")
+        m4 = config_memory(tiny_profile, p4, (1, 1, 1, 1), 8, 4, "stream")
+        assert max(m4) < max(m2)

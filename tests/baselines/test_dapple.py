@@ -1,0 +1,91 @@
+"""DAPPLE planner behaviour tests — the paper's documented observations."""
+
+import pytest
+
+from repro.baselines.common import evaluate_config
+from repro.baselines.dapple import plan_dapple
+from repro.config import TrainConfig
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import GPT2_1_3B, GPT2_345M
+from repro.profiling import profile_model
+
+
+def make_profile(model, mbs, gbs):
+    return profile_model(
+        model, DEFAULT_CLUSTER_HW,
+        TrainConfig(micro_batch_size=mbs, global_batch_size=gbs),
+    )
+
+
+@pytest.fixture(scope="module")
+def low_mem_4gpu():
+    profile = make_profile(GPT2_345M, 4, 128)
+    return profile, plan_dapple(profile, 4, 128)
+
+
+class TestLowMemoryChoices:
+    def test_two_stage_pipeline(self, low_mem_4gpu):
+        """Table III: DAPPLE pipelines even when pure DP is feasible."""
+        _, cfg = low_mem_4gpu
+        assert cfg.num_stages == 2
+
+    def test_light_unreplicated_first_stage(self, low_mem_4gpu):
+        _, cfg = low_mem_4gpu
+        assert cfg.replicas[0] == 1
+        assert cfg.replicas[1] == 3
+
+    def test_heavy_tail_stage(self, low_mem_4gpu):
+        """'DAPPLE assigns 17 layers to stage 2 for 24-layer GPT-2 345M'."""
+        profile, cfg = low_mem_4gpu
+        layers = cfg.partition.layers_per_stage(profile)
+        assert layers[1] >= 2 * layers[0]
+
+    def test_semantics_is_subbatch(self, low_mem_4gpu):
+        _, cfg = low_mem_4gpu
+        assert cfg.semantics == "subbatch"
+
+    def test_executed_cost_exceeds_pure_dp(self, low_mem_4gpu):
+        """The sub-batch padding makes the plan ~1.5-1.8x worse than DP."""
+        profile, cfg = low_mem_4gpu
+        ev = evaluate_config(profile, cfg, 128)
+        pure_dp = 8 * profile.total_time()  # 32 micro-batches over 4 GPUs
+        assert 1.3 * pure_dp < ev.iteration_seconds < 2.2 * pure_dp
+
+
+class TestSixteenGPURuntimeError:
+    def test_fifteen_replicas_on_stage_two(self):
+        """Table III's '-': 15 replicas exceed micro-batch size 4."""
+        profile = make_profile(GPT2_345M, 4, 128)
+        cfg = plan_dapple(profile, 16, 128)
+        assert cfg.num_stages == 2
+        assert max(cfg.replicas) == 15
+        ev = evaluate_config(profile, cfg, 128)
+        assert ev.runtime_error is not None
+
+
+class TestHighMemoryChoices:
+    def test_gpt2_13b_plan_ooms_at_runtime(self):
+        """Table IV: the optimistic memory check lets an OOM plan through."""
+        profile = make_profile(GPT2_1_3B, 16, 512)
+        cfg = plan_dapple(profile, 8, 512)
+        assert cfg.num_stages == 2
+        ev = evaluate_config(profile, cfg, 512)
+        assert ev.oom
+
+    def test_gpt2_345m_mbs32_runs(self):
+        profile = make_profile(GPT2_345M, 32, 512)
+        cfg = plan_dapple(profile, 4, 512)
+        ev = evaluate_config(profile, cfg, 512)
+        assert not ev.failed
+        assert cfg.num_stages == 2
+
+
+class TestSearchMetadata:
+    def test_search_time_positive(self, low_mem_4gpu):
+        _, cfg = low_mem_4gpu
+        assert cfg.search_seconds > 0
+
+    def test_indivisible_batch_rejected(self):
+        profile = make_profile(GPT2_345M, 4, 128)
+        with pytest.raises(ValueError):
+            plan_dapple(profile, 4, 130)

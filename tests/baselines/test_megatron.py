@@ -1,0 +1,59 @@
+"""Megatron uniform partitioner tests."""
+
+import pytest
+
+from repro.baselines.megatron import (
+    MegatronInfeasible,
+    megatron_stage_options,
+    uniform_partition,
+)
+from repro.models.blocks import BlockKind
+
+
+class TestUniformPartition:
+    def test_even_layer_split(self, gpt2_profile):
+        p = uniform_partition(gpt2_profile, 4)
+        layers = p.layers_per_stage(gpt2_profile)
+        assert layers == (6.0, 6.0, 6.0, 6.0)
+
+    def test_embedding_on_first_stage(self, gpt2_profile):
+        p = uniform_partition(gpt2_profile, 4)
+        first_kinds = {
+            gpt2_profile.blocks[i].block.kind for i in p.stages[0]
+        }
+        assert BlockKind.EMBEDDING in first_kinds
+
+    def test_head_on_last_stage(self, gpt2_profile):
+        p = uniform_partition(gpt2_profile, 4)
+        last_kinds = {
+            gpt2_profile.blocks[i].block.kind for i in p.stages[-1]
+        }
+        assert BlockKind.LM_HEAD in last_kinds
+        assert BlockKind.FINAL_NORM in last_kinds
+
+    def test_indivisible_depth_rejected(self, gpt2_profile):
+        """The paper's caveat: 8 stages need a layer count divisible by 8."""
+        with pytest.raises(MegatronInfeasible):
+            uniform_partition(gpt2_profile, 5)  # 24 % 5 != 0
+
+    def test_single_stage(self, gpt2_profile):
+        p = uniform_partition(gpt2_profile, 1)
+        assert p.num_stages == 1
+        assert p.num_blocks == gpt2_profile.num_blocks
+
+    def test_invalid_depth(self, gpt2_profile):
+        with pytest.raises(ValueError):
+            uniform_partition(gpt2_profile, 0)
+
+    def test_last_stage_is_heaviest(self, gpt2_profile):
+        """The head makes the uniform last stage the bottleneck —
+        the imbalance AutoPipe exploits."""
+        from repro.core.partition import stage_times
+        p = uniform_partition(gpt2_profile, 4)
+        times = stage_times(p, gpt2_profile)
+        assert max(times.total) == times.total[-1]
+
+
+def test_stage_options(gpt2_profile):
+    options = megatron_stage_options(gpt2_profile, 12)
+    assert options == [1, 2, 3, 4, 6, 8, 12]

@@ -1,0 +1,81 @@
+"""Piper planner behaviour tests — the paper's documented observations."""
+
+import pytest
+
+from repro.baselines.common import evaluate_config
+from repro.baselines.piper import plan_piper
+from repro.config import TrainConfig
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import GPT2_1_3B, GPT2_345M
+from repro.profiling import profile_model
+
+
+def make_profile(model, mbs, gbs):
+    return profile_model(
+        model, DEFAULT_CLUSTER_HW,
+        TrainConfig(micro_batch_size=mbs, global_batch_size=gbs),
+    )
+
+
+class TestLowMemory:
+    def test_complete_data_parallelism(self):
+        """Table III: with low memory demand Piper uses pure DP."""
+        profile = make_profile(GPT2_345M, 4, 128)
+        cfg = plan_piper(profile, 16, 128)
+        assert cfg.num_stages == 1
+        assert cfg.replicas == (16,)
+
+    def test_four_gpus_also_pure_dp(self):
+        profile = make_profile(GPT2_345M, 4, 128)
+        cfg = plan_piper(profile, 4, 128)
+        assert cfg.num_stages == 1
+
+
+class TestHighMemory:
+    def test_pipelines_when_memory_forces_it(self):
+        profile = make_profile(GPT2_345M, 32, 512)
+        cfg = plan_piper(profile, 4, 512)
+        assert cfg.num_stages > 1
+
+    def test_more_stages_than_autopipe(self):
+        """'Piper adopts a pipeline with more than 2 stages'."""
+        from repro.core.strategy import autopipe_config
+        profile = make_profile(GPT2_345M, 32, 512)
+        piper = plan_piper(profile, 8, 512)
+        auto = autopipe_config(profile, 8, 512)
+        assert piper.num_stages > auto.num_stages
+
+    def test_gpt2_13b_four_stages_on_4gpus(self):
+        profile = make_profile(GPT2_1_3B, 16, 512)
+        cfg = plan_piper(profile, 4, 512)
+        assert cfg.num_stages == 4
+        assert cfg.replicas == (1, 1, 1, 1)
+
+    def test_plan_respects_memory(self):
+        """Piper's DP has the memory constraint built in."""
+        from repro.baselines.common import config_memory
+        profile = make_profile(GPT2_1_3B, 16, 512)
+        cfg = plan_piper(profile, 8, 512)
+        ev = evaluate_config(profile, cfg, 512)
+        assert not ev.oom
+
+    def test_executed_slower_than_autopipe(self):
+        """Table IV: AutoPipe outperforms Piper by ~1.05-1.2x."""
+        from repro.core.strategy import autopipe_config
+        profile = make_profile(GPT2_1_3B, 16, 512)
+        piper_ev = evaluate_config(profile, plan_piper(profile, 8, 512), 512)
+        auto_ev = evaluate_config(profile, autopipe_config(profile, 8, 512), 512)
+        ratio = piper_ev.iteration_seconds / auto_ev.iteration_seconds
+        assert 1.0 < ratio < 1.35
+
+
+class TestSearchMetadata:
+    def test_search_time_positive(self):
+        profile = make_profile(GPT2_345M, 4, 128)
+        cfg = plan_piper(profile, 4, 128)
+        assert cfg.search_seconds > 0
+
+    def test_indivisible_batch_rejected(self):
+        profile = make_profile(GPT2_345M, 4, 128)
+        with pytest.raises(ValueError):
+            plan_piper(profile, 4, 130)

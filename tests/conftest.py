@@ -1,0 +1,50 @@
+"""Shared fixtures: small, fast model profiles and clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HardwareConfig, ModelConfig, TrainConfig
+from repro.hardware.cluster import Cluster
+from repro.models.zoo import GPT2_345M
+from repro.profiling import profile_model
+
+#: A small transformer so planner/DES tests stay fast.
+TINY = ModelConfig(
+    name="tiny", num_layers=6, hidden_size=256, num_heads=4,
+    seq_length=128, vocab_size=8000,
+)
+
+
+@pytest.fixture(scope="session")
+def hardware() -> HardwareConfig:
+    return HardwareConfig()
+
+
+@pytest.fixture(scope="session")
+def cluster(hardware: HardwareConfig) -> Cluster:
+    return Cluster(hardware)
+
+
+@pytest.fixture(scope="session")
+def train() -> TrainConfig:
+    return TrainConfig(micro_batch_size=4, global_batch_size=64)
+
+
+@pytest.fixture(scope="session")
+def tiny_profile(hardware, train):
+    return profile_model(TINY, hardware, train)
+
+
+@pytest.fixture(scope="session")
+def flat_profile(train):
+    """TINY profiled on a one-GPU-per-node cluster: every pipeline hop is
+    an inter-node link, matching the analytic simulator's single scalar
+    ``Comm`` exactly (used by DES-vs-analytic agreement tests)."""
+    hw = HardwareConfig(name="flat", num_nodes=16, gpus_per_node=1)
+    return profile_model(TINY, hw, train)
+
+
+@pytest.fixture(scope="session")
+def gpt2_profile(hardware, train):
+    return profile_model(GPT2_345M, hardware, train)

@@ -1,0 +1,51 @@
+"""End-to-end AutoPipe solution tests."""
+
+import pytest
+
+from repro.config import TrainConfig
+from repro.core.autopipe import autopipe_plan
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from tests.conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def solution():
+    train = TrainConfig(micro_batch_size=4, global_batch_size=32)
+    return autopipe_plan(
+        TINY, DEFAULT_CLUSTER_HW, train, num_stages=3, num_micro_batches=8
+    )
+
+
+class TestAutopipePlan:
+    def test_solution_components(self, solution):
+        assert solution.num_stages == 3
+        assert solution.slice_plan is not None
+        assert solution.planner.evaluations >= 1
+        assert solution.predicted_iteration_time > 0
+
+    def test_slicer_consistent_with_partition(self, solution):
+        assert solution.slice_plan.num_micro_batches == 8
+        assert 1 <= solution.slice_plan.num_sliced <= 2
+
+    def test_stage_times_match_partition(self, solution):
+        assert solution.times.num_stages == 3
+        assert sum(solution.times.fwd) == pytest.approx(
+            solution.profile.total_fwd_time()
+        )
+
+    def test_slicer_can_be_disabled(self):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=32)
+        sol = autopipe_plan(
+            TINY, DEFAULT_CLUSTER_HW, train, num_stages=3,
+            num_micro_batches=8, enable_slicer=False,
+        )
+        assert sol.slice_plan is None
+
+    def test_profile_reuse(self, solution):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=32)
+        sol = autopipe_plan(
+            TINY, DEFAULT_CLUSTER_HW, train, num_stages=3,
+            num_micro_batches=8, profile=solution.profile,
+        )
+        assert sol.profile is solution.profile
+        assert sol.partition == solution.partition

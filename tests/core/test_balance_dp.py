@@ -1,0 +1,77 @@
+"""Algorithm 1 (min-max partition DP) — exactness against brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.balance_dp import balanced_partition, bottleneck, min_max_partition
+
+
+def brute_force_bottleneck(weights, p):
+    """Minimal max-group weight over all contiguous p-partitions."""
+    n = len(weights)
+    best = float("inf")
+    for cuts in itertools.combinations(range(1, n), p - 1):
+        edges = [0, *cuts, n]
+        worst = max(
+            sum(weights[a:b]) for a, b in zip(edges, edges[1:])
+        )
+        best = min(best, worst)
+    return best
+
+
+class TestMinMaxPartition:
+    def test_trivial_single_group(self):
+        assert min_max_partition([1, 2, 3], 1) == [3]
+
+    def test_each_block_own_group(self):
+        assert min_max_partition([1, 2, 3], 3) == [1, 1, 1]
+
+    def test_uniform_weights_split_evenly(self):
+        sizes = min_max_partition([1.0] * 12, 4)
+        assert sizes == [3, 3, 3, 3]
+
+    def test_heavy_tail_gets_smaller_group(self):
+        # Last block is huge: the optimum isolates it -> max group weight 5.
+        weights = [1, 1, 1, 1, 1, 5]
+        sizes = min_max_partition(weights, 2)
+        assert sizes == [5, 1]
+        assert bottleneck(weights, sizes) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_max_partition([], 1)
+        with pytest.raises(ValueError):
+            min_max_partition([1.0], 2)
+        with pytest.raises(ValueError):
+            min_max_partition([1.0], 0)
+        with pytest.raises(ValueError):
+            min_max_partition([-1.0, 1.0], 1)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=9),
+        st.integers(min_value=1, max_value=9),
+    )
+    def test_optimal_versus_brute_force(self, weights, p):
+        if p > len(weights):
+            return
+        sizes = min_max_partition(weights, p)
+        assert len(sizes) == p
+        assert sum(sizes) == len(weights)
+        assert all(s >= 1 for s in sizes)
+        got = bottleneck(weights, sizes)
+        best = brute_force_bottleneck(weights, p)
+        assert got == pytest.approx(best, abs=1e-9)
+
+
+class TestBalancedPartition:
+    def test_returns_partition_scheme(self):
+        p = balanced_partition([1.0, 2.0, 1.0, 2.0], 2)
+        assert p.num_stages == 2
+        assert p.num_blocks == 4
+
+    def test_bottleneck_helper_validates(self):
+        with pytest.raises(ValueError):
+            bottleneck([1, 2, 3], [1, 1])

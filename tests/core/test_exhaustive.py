@@ -1,0 +1,61 @@
+"""Exhaustive-search oracle tests: the heuristic Planner's optimality gap."""
+
+import pytest
+
+from repro.core.exhaustive import (
+    count_partitions,
+    exhaustive_partition,
+    iter_partitions,
+)
+from repro.core.planner import plan_partition
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self):
+        assert count_partitions(6, 3) == len(list(iter_partitions(6, 3)))
+        assert count_partitions(6, 3) == 10  # C(5, 2)
+
+    def test_all_partitions_valid(self):
+        for sizes in iter_partitions(7, 3):
+            assert sum(sizes) == 7
+            assert all(s >= 1 for s in sizes)
+
+    def test_single_stage(self):
+        assert list(iter_partitions(5, 1)) == [(5,)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(iter_partitions(3, 4))
+        with pytest.raises(ValueError):
+            count_partitions(3, 0)
+
+
+class TestOracle:
+    @pytest.mark.parametrize("stages,m", [(2, 4), (3, 6), (4, 8)])
+    def test_heuristic_within_two_percent_of_optimum(
+        self, tiny_profile, stages, m
+    ):
+        """The master-stage heuristic lands essentially on the optimum for
+        the tiny model (16 blocks: small enough to brute-force)."""
+        oracle = exhaustive_partition(tiny_profile, stages, m)
+        heuristic = plan_partition(tiny_profile, stages, m)
+        assert heuristic.iteration_time <= oracle.iteration_time * 1.02
+
+    def test_heuristic_vastly_cheaper(self, tiny_profile):
+        oracle = exhaustive_partition(tiny_profile, 4, 8)
+        heuristic = plan_partition(tiny_profile, 4, 8)
+        assert heuristic.evaluations < oracle.evaluations / 5
+
+    def test_oracle_never_above_algorithm1_seed(self, tiny_profile):
+        from repro.core.analytic_sim import simulate_partition
+        from repro.core.balance_dp import balanced_partition
+        oracle = exhaustive_partition(tiny_profile, 3, 6)
+        seed = balanced_partition(tiny_profile.block_times(), 3)
+        seed_sim = simulate_partition(tiny_profile, seed, 6)
+        assert oracle.iteration_time <= seed_sim.iteration_time + 1e-12
+
+    def test_search_space_guard(self, gpt2_profile):
+        with pytest.raises(ValueError, match="search space"):
+            exhaustive_partition(
+                gpt2_profile, 8, 8, max_evaluations=1000
+            )

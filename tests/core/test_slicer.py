@@ -1,0 +1,94 @@
+"""Slicer (Algorithm 2) tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import StageTimes
+from repro.core.slicer import SlicePlan, make_slice_plan, solve_slice_count
+
+
+def balanced(n, f=1.0, b=2.0, comm=0.0):
+    return StageTimes((f,) * n, (b,) * n, comm)
+
+
+class TestSolveSliceCount:
+    def test_single_stage_no_slicing(self):
+        assert solve_slice_count(balanced(1), 8) == 0
+
+    def test_paper_fig8_example_slices_one(self):
+        """A balanced 4-stage pipeline slices exactly micro-batch 0."""
+        assert solve_slice_count(balanced(4), 8) == 1
+
+    def test_deeper_pipelines_slice_more(self):
+        shallow = solve_slice_count(balanced(4), 16)
+        deep = solve_slice_count(balanced(12), 24)
+        assert deep >= shallow
+
+    def test_at_least_one_for_multi_stage(self):
+        for n in (2, 3, 4, 8):
+            assert solve_slice_count(balanced(n), 2 * n) >= 1
+
+    def test_capped_by_pipeline_depth(self):
+        for n in (2, 4, 8):
+            assert solve_slice_count(balanced(n), 100) <= n - 1
+
+    def test_capped_by_micro_batches(self):
+        assert solve_slice_count(balanced(8), 1) <= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=1, max_value=32),
+        st.data(),
+    )
+    def test_result_always_in_bounds(self, n, m, data):
+        fwd = tuple(
+            data.draw(st.floats(min_value=0.05, max_value=2.0)) for _ in range(n)
+        )
+        bwd = tuple(
+            data.draw(st.floats(min_value=0.05, max_value=4.0)) for _ in range(n)
+        )
+        comm = data.draw(st.floats(min_value=0.0, max_value=0.3))
+        mb = solve_slice_count(StageTimes(fwd, bwd, comm), m)
+        assert 1 <= mb <= min(n - 1, m) or (mb == 1 and m == 1)
+
+
+class TestSlicePlan:
+    def test_units_expand_sliced(self):
+        plan = SlicePlan(num_sliced=2, num_micro_batches=4)
+        assert plan.units() == (
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, -1), (3, -1)
+        )
+        assert plan.num_units == 6
+
+    def test_is_sliced(self):
+        plan = SlicePlan(num_sliced=1, num_micro_batches=4)
+        assert plan.is_sliced(0)
+        assert not plan.is_sliced(1)
+
+    def test_sliced_tuple(self):
+        plan = SlicePlan(num_sliced=3, num_micro_batches=8)
+        assert plan.sliced == (0, 1, 2)
+
+    def test_zero_slices_is_plain(self):
+        plan = SlicePlan(num_sliced=0, num_micro_batches=3)
+        assert plan.units() == ((0, -1), (1, -1), (2, -1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlicePlan(num_sliced=-1, num_micro_batches=4)
+        with pytest.raises(ValueError):
+            SlicePlan(num_sliced=5, num_micro_batches=4)
+
+
+class TestMakeSlicePlan:
+    def test_plan_carries_algorithm_output(self):
+        times = balanced(4)
+        plan = make_slice_plan(times, 8)
+        assert plan.num_sliced == solve_slice_count(times, 8)
+        assert plan.num_micro_batches == 8
+        assert plan.aggregate_last_warmup_comm
+
+    def test_aggregation_flag_propagates(self):
+        plan = make_slice_plan(balanced(4), 8, aggregate_last_warmup_comm=False)
+        assert not plan.aggregate_last_warmup_comm

@@ -1,0 +1,80 @@
+"""Cluster-level strategy tests: dp/pp choice and memory repair."""
+
+import pytest
+
+from repro.config import TrainConfig
+from repro.core.balance_dp import balanced_partition
+from repro.core.strategy import autopipe_config, repair_memory
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.models.zoo import GPT2_1_3B, GPT2_345M
+from repro.profiling import profile_model
+
+
+def make_profile(model, mbs, gbs):
+    return profile_model(
+        model, DEFAULT_CLUSTER_HW,
+        TrainConfig(micro_batch_size=mbs, global_batch_size=gbs),
+    )
+
+
+class TestAutopipeConfig:
+    def test_low_memory_uses_pure_data_parallelism(self):
+        profile = make_profile(GPT2_345M, 4, 128)
+        cfg = autopipe_config(profile, 16, 128)
+        assert cfg.num_stages == 1
+        assert cfg.replicas == (16,)
+
+    def test_high_memory_picks_two_stages(self):
+        """GPT-2 345M at mbs 32 cannot fit one GPU: shallowest pipeline."""
+        profile = make_profile(GPT2_345M, 32, 512)
+        cfg = autopipe_config(profile, 4, 512)
+        assert cfg.num_stages == 2
+        assert cfg.replicas == (2, 2)
+
+    def test_gpt13b_needs_four_stages(self):
+        profile = make_profile(GPT2_1_3B, 16, 512)
+        cfg = autopipe_config(profile, 4, 512)
+        assert cfg.num_stages == 4
+
+    def test_plan_fits_memory(self):
+        from repro.baselines.common import config_memory
+        profile = make_profile(GPT2_345M, 32, 512)
+        cfg = autopipe_config(profile, 4, 512)
+        peaks = config_memory(
+            profile, cfg.partition, cfg.replicas, 16, 32, "stream"
+        )
+        assert all(p <= profile.hardware.gpu_memory for p in peaks)
+
+    def test_search_time_recorded(self):
+        profile = make_profile(GPT2_345M, 4, 128)
+        cfg = autopipe_config(profile, 4, 128)
+        assert cfg.search_seconds >= 0
+
+    def test_indivisible_batch_rejected(self):
+        profile = make_profile(GPT2_345M, 4, 128)
+        with pytest.raises(ValueError):
+            autopipe_config(profile, 4, 130)
+
+
+class TestRepairMemory:
+    def test_fitting_partition_unchanged(self):
+        profile = make_profile(GPT2_345M, 4, 64)
+        part = balanced_partition(profile.block_times(), 4)
+        repaired = repair_memory(profile, part, 1, 16, 4)
+        assert repaired == part
+
+    def test_overloaded_logits_stage_is_lightened(self):
+        profile = make_profile(GPT2_345M, 32, 512)
+        part = balanced_partition(profile.block_times(), 2)
+        repaired = repair_memory(profile, part, 2, 16, 32)
+        assert repaired is not None
+        # The last (loss-head) stage lost blocks to the first.
+        assert repaired.sizes[-1] <= part.sizes[-1]
+        from repro.baselines.common import config_memory
+        peaks = config_memory(profile, repaired, (2, 2), 16, 32, "stream")
+        assert all(p <= profile.hardware.gpu_memory for p in peaks)
+
+    def test_impossible_case_returns_none(self):
+        profile = make_profile(GPT2_1_3B, 16, 256)
+        part = balanced_partition(profile.block_times(), 2)
+        assert repair_memory(profile, part, 2, 16, 16) is None

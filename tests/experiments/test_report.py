@@ -1,0 +1,34 @@
+"""Markdown report generator tests (structure only; content is live)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.report import _code_block, _speedups
+
+
+def test_report_registered_in_cli():
+    assert "report" in ALL_EXPERIMENTS
+
+
+def test_code_block_wrapping():
+    assert _code_block("x") == "```\nx\n```"
+
+
+def test_speedup_extraction():
+    rows = [
+        ["m", 4, "1.101x"],
+        ["m", 8, "-"],
+        ["m", 16, "1.250x"],
+    ]
+    assert _speedups(rows) == [1.101, 1.25]
+
+
+@pytest.mark.slow
+def test_full_report_generation(tmp_path):
+    """End-to-end report (runs the whole evaluation, ~1 minute)."""
+    from repro.experiments.report import write_report
+    path = tmp_path / "report.md"
+    report = write_report(str(path))
+    assert path.exists()
+    for heading in ("Fig. 9", "Fig. 14", "Table IV"):
+        assert heading in report

@@ -1,0 +1,146 @@
+"""Integration tests asserting the paper's qualitative claims hold.
+
+These run the real experiment code on a subset of configurations; they are
+the automated version of EXPERIMENTS.md's paper-vs-measured comparisons.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig9, fig10, fig11, fig13, fig14, table2, table3
+from repro.models.zoo import BERT_LARGE, GPT2_345M
+
+
+class TestFig9Shapes:
+    @pytest.fixture(scope="class")
+    def point(self):
+        return fig9.run_point(GPT2_345M, 8)
+
+    def test_autopipe_beats_megatron(self, point):
+        ratio = point["megatron"].iteration_seconds \
+            / point["autopipe"].iteration_seconds
+        assert 1.02 <= ratio <= 1.35
+
+    def test_planner_contributes_more_than_slicer(self, point):
+        """At 4 stages the Planner's gain exceeds the Slicer's."""
+        mega = point["megatron"].iteration_seconds
+        planner_gain = mega / point["planner"].iteration_seconds
+        slicer_gain = mega / point["slicer"].iteration_seconds
+        assert planner_gain > slicer_gain
+
+    def test_autopipe_beats_both_components(self, point):
+        auto = point["autopipe"].iteration_seconds
+        assert auto <= point["planner"].iteration_seconds
+        assert auto <= point["slicer"].iteration_seconds
+
+    def test_762m_ooms_at_mbs32(self):
+        from repro.models.zoo import GPT2_762M
+        point = fig9.run_point(GPT2_762M, 32)
+        assert point["megatron"].status == "OOM"
+
+
+class TestFig10Shapes:
+    def test_speedup_grows_with_depth(self):
+        shallow = fig10.run_point(GPT2_345M, 4, 2)
+        deep = fig10.run_point(GPT2_345M, 4, 12)
+        s_ratio = shallow["megatron"].iteration_seconds \
+            / shallow["autopipe"].iteration_seconds
+        d_ratio = deep["megatron"].iteration_seconds \
+            / deep["autopipe"].iteration_seconds
+        assert d_ratio > s_ratio
+        assert d_ratio >= 1.15
+
+    def test_slicer_hurts_at_depth_two(self):
+        """Paper: 'micro-batch slicing is unsuitable for a shallow pipeline'."""
+        point = fig10.run_point(GPT2_345M, 4, 2)
+        assert point["slicer"].iteration_seconds > \
+            point["megatron"].iteration_seconds
+
+    def test_slicer_helps_at_depth_eight(self):
+        point = fig10.run_point(GPT2_345M, 4, 8)
+        assert point["slicer"].iteration_seconds < \
+            point["megatron"].iteration_seconds
+
+
+class TestTable2AndFig11:
+    def test_all_schemes_translate(self):
+        result = table2.run()
+        assert len(result.rows) == 7
+
+    def test_bad_scheme_rejected(self, gpt2_profile):
+        with pytest.raises(ValueError):
+            table2.scheme_partition(gpt2_profile, (12.0, 12.0, 12.0, 12.0))
+        with pytest.raises(ValueError):
+            table2.scheme_partition(gpt2_profile, (6.25, 6.25, 6.25, 5.25))
+
+    def test_simulator_tracks_actual(self):
+        result = fig11.run()
+        assert result.meta["trend_correlation"] > 0.95
+        gaps = np.array(result.meta["simulator_ms"]) - \
+            np.array(result.meta["actual_ms"])
+        # Paper-mode bias is positive and stable across schemes.
+        assert np.all(gaps > 0)
+        assert np.std(gaps) < 0.2 * np.mean(np.abs(gaps)) + 0.5
+
+
+class TestFig13Shapes:
+    def test_autopipe_most_balanced(self):
+        result = fig13.run(gpu_counts=(4,))
+        by_alg = {row[1]: row for row in result.rows}
+        a_std = float(by_alg["A"][3])
+        d_std = float(by_alg["D"][3])
+        p_std = float(by_alg["P"][3])
+        assert d_std > 2.0 * a_std
+        assert p_std > 2.0 * a_std
+
+
+class TestFig14Shapes:
+    @pytest.fixture(scope="class")
+    def point(self):
+        return fig14.run_point(GPT2_345M, 4, 4, 8)
+
+    def test_slicer_halves_startup(self, point):
+        ratio = point["megatron"].startup_seconds / point["slicer"].startup_seconds
+        assert 1.6 <= ratio <= 2.4
+
+    def test_interleaved_halves_startup(self, point):
+        ratio = point["megatron"].startup_seconds \
+            / point["interleaved"].startup_seconds
+        assert 1.6 <= ratio <= 2.4
+
+    def test_autopipe_startup_slightly_above_slicer(self, point):
+        """The Planner moves load off the last stage, so full AutoPipe's
+        startup is a touch higher than the Slicer on uniform stages."""
+        assert point["autopipe"].startup_seconds >= point["slicer"].startup_seconds
+
+    def test_interleaved_oom_at_mbs32(self):
+        point = fig14.run_point(GPT2_345M, 32, 4, 8)
+        assert point["interleaved"].status == "OOM"
+        assert point["megatron"].status == "ok"
+
+    def test_interleaved_infeasible_at_depth_8(self):
+        point = fig14.run_point(GPT2_345M, 4, 8, 16)
+        assert point["interleaved"].status == "X"
+        assert point["slicer"].status == "ok"
+
+
+class TestTable3Shapes:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return table3.run_cell(GPT2_345M, 4, 4, 128)
+
+    def test_piper_equals_autopipe_at_low_memory(self, cells):
+        a = cells["A"].iteration_seconds
+        p = cells["P"].iteration_seconds
+        assert p == pytest.approx(a, rel=0.02)
+
+    def test_dapple_substantially_worse(self, cells):
+        ratio = cells["D"].iteration_seconds / cells["A"].iteration_seconds
+        assert 1.4 <= ratio <= 2.0
+
+    def test_dapple_runtime_error_on_16_gpus(self):
+        cells = table3.run_cell(GPT2_345M, 4, 16, 128)
+        assert cells["D"].runtime_error is not None
+        assert cells["A"].iteration_seconds == pytest.approx(
+            cells["P"].iteration_seconds, rel=0.02
+        )

@@ -1,0 +1,60 @@
+"""Cluster topology tests."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.hardware.cluster import Cluster
+from repro.hardware.device import rtx3090_cluster
+
+
+@pytest.fixture
+def small_cluster():
+    return Cluster(HardwareConfig(num_nodes=2, gpus_per_node=4))
+
+
+class TestCluster:
+    def test_device_count(self, small_cluster):
+        assert small_cluster.num_devices == 8
+
+    def test_node_of(self, small_cluster):
+        assert small_cluster.node_of(0) == 0
+        assert small_cluster.node_of(3) == 0
+        assert small_cluster.node_of(4) == 1
+
+    def test_same_node(self, small_cluster):
+        assert small_cluster.same_node(0, 3)
+        assert not small_cluster.same_node(3, 4)
+
+    def test_out_of_range_device(self, small_cluster):
+        with pytest.raises(ValueError):
+            small_cluster.node_of(8)
+
+    def test_pipeline_devices_contiguous(self, small_cluster):
+        assert small_cluster.pipeline_devices(4) == [0, 1, 2, 3]
+        assert small_cluster.pipeline_devices(4, replica=1) == [4, 5, 6, 7]
+
+    def test_pipeline_devices_overflow(self, small_cluster):
+        with pytest.raises(ValueError):
+            small_cluster.pipeline_devices(4, replica=2)
+
+    def test_link_class(self, small_cluster):
+        assert small_cluster.link_class(0, 1) == "intra"
+        assert small_cluster.link_class(0, 4) == "inter"
+
+    def test_all_pairs_excludes_self(self, small_cluster):
+        pairs = small_cluster.all_pairs()
+        assert len(pairs) == 8 * 7
+        assert all(a != b for a, b in pairs)
+
+
+def test_rtx3090_cluster_factory():
+    hw = rtx3090_cluster(num_nodes=2, gpus_per_node=8)
+    assert hw.num_gpus == 16
+    assert "2x8" in hw.name
+
+
+def test_hardware_validation():
+    with pytest.raises(ValueError):
+        HardwareConfig(flops_efficiency=1.5)
+    with pytest.raises(ValueError):
+        HardwareConfig(num_nodes=0)

@@ -1,0 +1,79 @@
+"""Communication cost model tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import HardwareConfig
+from repro.hardware.cluster import Cluster
+from repro.hardware.comm import CommModel
+
+HW = HardwareConfig()
+COMM = CommModel(HW)
+
+
+class TestP2P:
+    def test_zero_bytes_is_free(self):
+        assert COMM.p2p_time(0) == 0.0
+
+    def test_latency_floor(self):
+        assert COMM.p2p_time(1) >= HW.link_latency
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            COMM.p2p_time(-1)
+
+    def test_intra_node_faster(self):
+        mb = 8 * 2**20
+        assert COMM.p2p_time(mb, inter_node=False) < COMM.p2p_time(mb, inter_node=True) \
+            or HW.intra_node_bandwidth >= HW.inter_node_bandwidth
+
+    def test_routing_by_cluster(self):
+        cluster = Cluster(HW)
+        mb = 8 * 2**20
+        intra = COMM.p2p_time_between(cluster, 0, 1, mb)
+        inter = COMM.p2p_time_between(cluster, 0, HW.gpus_per_node, mb)
+        assert intra == COMM.p2p_time(mb, inter_node=False)
+        assert inter == COMM.p2p_time(mb, inter_node=True)
+
+    @given(st.floats(min_value=1, max_value=1e10),
+           st.floats(min_value=1, max_value=1e10))
+    def test_monotone_in_bytes(self, a, b):
+        small, large = sorted((a, b))
+        assert COMM.p2p_time(small) <= COMM.p2p_time(large)
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        assert COMM.allreduce_time(1e9, 1) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert COMM.allreduce_time(0, 8) == 0.0
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            COMM.allreduce_time(1e6, 0)
+
+    def test_ring_volume_factor(self):
+        """2(n-1)/n of the data crosses the bottleneck link."""
+        n = 4
+        t = COMM.allreduce_time(1e9, n)
+        expected_volume = 2 * (n - 1) / n * 1e9
+        expected = expected_volume / HW.effective_bandwidth() \
+            + 2 * (n - 1) * HW.link_latency
+        assert t == pytest.approx(expected)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_approaches_2x_bandwidth_bound(self, n):
+        t = COMM.allreduce_time(1e9, n)
+        bound = 2 * 1e9 / HW.effective_bandwidth()
+        assert t <= bound + 2 * (n - 1) * HW.link_latency + 1e-9
+
+    @given(st.integers(min_value=2, max_value=32),
+           st.integers(min_value=2, max_value=32))
+    def test_monotone_in_ranks(self, a, b):
+        small, large = sorted((a, b))
+        assert COMM.allreduce_time(1e9, small) <= COMM.allreduce_time(1e9, large)
+
+
+def test_pipeline_hop_uses_inter_node():
+    assert COMM.pipeline_hop_time(1e6) == COMM.p2p_time(1e6, inter_node=True)

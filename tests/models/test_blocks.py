@@ -1,0 +1,42 @@
+"""Unit tests for the block IR."""
+
+import pytest
+
+from repro.models.blocks import Block, BlockKind
+
+
+class TestBlockKind:
+    def test_sublayer_flags(self):
+        assert BlockKind.ATTENTION.is_sublayer
+        assert BlockKind.FFN.is_sublayer
+        assert not BlockKind.EMBEDDING.is_sublayer
+        assert not BlockKind.LM_HEAD.is_sublayer
+        assert not BlockKind.FINAL_NORM.is_sublayer
+        assert not BlockKind.BERT_HEAD.is_sublayer
+
+    def test_kind_values_unique(self):
+        values = [k.value for k in BlockKind]
+        assert len(values) == len(set(values))
+
+
+class TestBlock:
+    def test_label_includes_layer_for_sublayers(self):
+        b = Block(3, BlockKind.ATTENTION, layer_index=1)
+        assert b.label == "attention[1]"
+
+    def test_label_plain_for_structural_blocks(self):
+        assert Block(0, BlockKind.EMBEDDING).label == "embedding"
+
+    def test_layer_fraction_half_for_sublayers(self):
+        assert Block(1, BlockKind.ATTENTION, 0).layer_fraction == 0.5
+        assert Block(2, BlockKind.FFN, 0).layer_fraction == 0.5
+
+    def test_layer_fraction_zero_otherwise(self):
+        assert Block(0, BlockKind.EMBEDDING).layer_fraction == 0.0
+        assert Block(9, BlockKind.LM_HEAD).layer_fraction == 0.0
+
+    def test_blocks_are_hashable_and_frozen(self):
+        b = Block(0, BlockKind.EMBEDDING)
+        assert hash(b) == hash(Block(0, BlockKind.EMBEDDING))
+        with pytest.raises(AttributeError):
+            b.index = 5  # type: ignore[misc]

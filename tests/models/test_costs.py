@@ -1,0 +1,106 @@
+"""Cost-model tests, including the Table I parameter counts."""
+
+import pytest
+
+from repro.config import ModelConfig
+from repro.models.blocks import Block, BlockKind
+from repro.models.costs import (
+    BlockCosts,
+    attention_fwd_flops,
+    block_costs,
+    embedding_params,
+    ffn_fwd_flops,
+    lm_head_fwd_flops,
+    model_params,
+    small_batch_slowdown,
+)
+from repro.models.zoo import BERT_LARGE, GPT2_1_3B, GPT2_345M, GPT2_762M
+
+CFG = ModelConfig(name="t", num_layers=2, hidden_size=64, num_heads=4,
+                  seq_length=32, vocab_size=1000)
+
+
+class TestFlopFormulas:
+    def test_attention_flops_scale_linearly_in_batch(self):
+        assert attention_fwd_flops(CFG, 8) == pytest.approx(
+            2 * attention_fwd_flops(CFG, 4)
+        )
+
+    def test_ffn_flops_formula(self):
+        # 2 GEMMs of h x 4h over b*s tokens, factor 2 per MAC.
+        b, s, h = 4, CFG.seq_length, CFG.hidden_size
+        assert ffn_fwd_flops(CFG, 4) == pytest.approx(2 * b * s * h * 4 * h * 2)
+
+    def test_lm_head_flops_formula(self):
+        b, s, h, v = 2, CFG.seq_length, CFG.hidden_size, CFG.vocab_size
+        assert lm_head_fwd_flops(CFG, 2) == pytest.approx(2 * b * s * h * v)
+
+    def test_attention_has_quadratic_sequence_term(self):
+        longer = ModelConfig(name="t2", num_layers=2, hidden_size=64,
+                             num_heads=4, seq_length=64, vocab_size=1000)
+        # Doubling s more than doubles attention FLOPs (s^2 term).
+        assert attention_fwd_flops(longer, 4) > 2 * attention_fwd_flops(CFG, 4)
+
+
+class TestBlockCosts:
+    @pytest.mark.parametrize("kind", list(BlockKind))
+    def test_every_kind_has_costs(self, kind):
+        costs = block_costs(Block(0, kind, 0), CFG, 4)
+        assert isinstance(costs, BlockCosts)
+        assert costs.fwd_flops > 0
+        assert costs.bwd_flops == pytest.approx(2 * costs.fwd_flops)
+        assert costs.activation_out_bytes > 0
+        assert costs.stash_bytes > 0
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            block_costs(Block(0, BlockKind.FFN, 0), CFG, 0)
+
+    def test_embedding_is_params_heavy_compute_light(self):
+        emb = block_costs(Block(0, BlockKind.EMBEDDING), CFG, 4)
+        attn = block_costs(Block(1, BlockKind.ATTENTION, 0), CFG, 4)
+        assert emb.params > attn.params
+        assert emb.fwd_flops < attn.fwd_flops
+
+    def test_embedding_params_formula(self):
+        assert embedding_params(CFG) == pytest.approx(
+            CFG.vocab_size * CFG.hidden_size + CFG.seq_length * CFG.hidden_size
+        )
+
+    def test_lm_head_outputs_logits_not_hidden(self):
+        head = block_costs(Block(5, BlockKind.LM_HEAD), CFG, 4)
+        hidden_bytes = 4 * CFG.seq_length * CFG.hidden_size * 2
+        assert head.activation_out_bytes > hidden_bytes
+
+    def test_sublayer_boundary_keeps_activation_size(self):
+        """Fig 3's point: cutting between attention and FFN adds no comm."""
+        attn = block_costs(Block(1, BlockKind.ATTENTION, 0), CFG, 4)
+        ffn = block_costs(Block(2, BlockKind.FFN, 0), CFG, 4)
+        assert attn.activation_out_bytes == ffn.activation_out_bytes
+
+
+class TestTableI:
+    """Parameter counts should match the paper's Table I within ~5%."""
+
+    @pytest.mark.parametrize("model,expected_millions", [
+        (GPT2_345M, 345), (GPT2_762M, 762), (GPT2_1_3B, 1314),
+        (BERT_LARGE, 340),
+    ])
+    def test_parameter_counts(self, model, expected_millions):
+        actual = model_params(model) / 1e6
+        assert actual == pytest.approx(expected_millions, rel=0.05)
+
+
+class TestSmallBatchSlowdown:
+    def test_full_batch_no_slowdown(self):
+        assert small_batch_slowdown(4096, 4096) == pytest.approx(1.0)
+
+    def test_smaller_batch_is_slower(self):
+        assert small_batch_slowdown(2048, 4096) > 1.0
+
+    def test_monotone_in_split(self):
+        assert small_batch_slowdown(1024, 4096) > small_batch_slowdown(2048, 4096)
+
+    def test_invalid_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            small_batch_slowdown(0, 4096)

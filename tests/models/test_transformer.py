@@ -1,0 +1,91 @@
+"""Model builder structure tests."""
+
+import pytest
+
+from repro.config import ModelConfig
+from repro.models.blocks import BlockKind
+from repro.models.transformer import (
+    build_blocks,
+    layer_groups,
+    transformer_layer_count,
+)
+from repro.models.zoo import BERT_LARGE, GPT2_345M
+
+
+class TestBuildBlocks:
+    def test_block_count(self):
+        blocks = build_blocks(GPT2_345M)
+        # embedding + 2 per layer + final norm + head
+        assert len(blocks) == 1 + 2 * GPT2_345M.num_layers + 2
+
+    def test_indices_sequential(self):
+        blocks = build_blocks(GPT2_345M)
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_structure_order(self):
+        blocks = build_blocks(GPT2_345M)
+        assert blocks[0].kind is BlockKind.EMBEDDING
+        assert blocks[1].kind is BlockKind.ATTENTION
+        assert blocks[2].kind is BlockKind.FFN
+        assert blocks[-2].kind is BlockKind.FINAL_NORM
+        assert blocks[-1].kind is BlockKind.LM_HEAD
+
+    def test_bert_gets_bert_head(self):
+        assert build_blocks(BERT_LARGE)[-1].kind is BlockKind.BERT_HEAD
+
+    def test_attention_precedes_ffn_within_layer(self):
+        blocks = build_blocks(GPT2_345M)
+        for layer in range(GPT2_345M.num_layers):
+            attn = blocks[1 + 2 * layer]
+            ffn = blocks[2 + 2 * layer]
+            assert attn.kind is BlockKind.ATTENTION and attn.layer_index == layer
+            assert ffn.kind is BlockKind.FFN and ffn.layer_index == layer
+
+    def test_layer_count_metric(self):
+        blocks = build_blocks(GPT2_345M)
+        assert transformer_layer_count(blocks) == GPT2_345M.num_layers
+
+
+class TestLayerGroups:
+    def test_group_count_equals_layers(self):
+        blocks = build_blocks(GPT2_345M)
+        assert len(layer_groups(blocks)) == GPT2_345M.num_layers
+
+    def test_groups_cover_all_blocks_exactly_once(self):
+        blocks = build_blocks(GPT2_345M)
+        flat = [i for g in layer_groups(blocks) for i in g]
+        assert sorted(flat) == list(range(len(blocks)))
+
+    def test_embedding_attached_to_first_group(self):
+        blocks = build_blocks(GPT2_345M)
+        groups = layer_groups(blocks)
+        assert 0 in groups[0]
+
+    def test_head_attached_to_last_group(self):
+        blocks = build_blocks(GPT2_345M)
+        groups = layer_groups(blocks)
+        assert blocks[-1].index in groups[-1]
+
+    def test_groups_contiguous(self):
+        blocks = build_blocks(GPT2_345M)
+        for g in layer_groups(blocks):
+            assert list(g) == list(range(g[0], g[-1] + 1))
+
+
+class TestModelConfigValidation:
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=2, hidden_size=100, num_heads=3)
+
+    def test_rejects_nonpositive_layers(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=0, hidden_size=64, num_heads=4)
+
+    def test_default_ffn_hidden(self):
+        cfg = ModelConfig(name="t", num_layers=2, hidden_size=64, num_heads=4)
+        assert cfg.ffn_hidden_size == 256
+
+    def test_explicit_ffn_hidden_kept(self):
+        cfg = ModelConfig(name="t", num_layers=2, hidden_size=64, num_heads=4,
+                          ffn_hidden_size=128)
+        assert cfg.ffn_hidden_size == 128

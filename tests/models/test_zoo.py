@@ -1,0 +1,44 @@
+"""Model zoo sanity checks against Table I."""
+
+import pytest
+
+from repro.models.zoo import (
+    BERT_LARGE,
+    GPT2_1_3B,
+    GPT2_345M,
+    GPT2_762M,
+    MODEL_ZOO,
+    get_model,
+)
+
+
+def test_zoo_has_four_models():
+    assert len(MODEL_ZOO) == 4
+
+
+@pytest.mark.parametrize("model,layers,hidden", [
+    (GPT2_345M, 24, 1024), (GPT2_762M, 36, 1280),
+    (GPT2_1_3B, 24, 2048), (BERT_LARGE, 24, 1024),
+])
+def test_table1_architecture(model, layers, hidden):
+    assert model.num_layers == layers
+    assert model.hidden_size == hidden
+
+
+def test_bert_flag():
+    assert BERT_LARGE.is_bert
+    assert not GPT2_345M.is_bert
+
+
+def test_bert_uses_short_sequences_and_small_vocab():
+    assert BERT_LARGE.seq_length == 512
+    assert BERT_LARGE.vocab_size == 30522
+
+
+def test_get_model_roundtrip():
+    assert get_model("gpt2-345m") is GPT2_345M
+
+
+def test_get_model_unknown_lists_options():
+    with pytest.raises(KeyError, match="gpt2-345m"):
+        get_model("nope")

@@ -1,0 +1,29 @@
+"""Gradient synchronisation cost tests."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.parallel.data_parallel import allreduce_seconds, gradient_bytes
+
+HW = HardwareConfig()
+
+
+def test_gradient_bytes_fp32():
+    assert gradient_bytes(1e6) == 4e6
+
+
+def test_gradient_bytes_negative():
+    with pytest.raises(ValueError):
+        gradient_bytes(-1)
+
+
+def test_single_replica_free():
+    assert allreduce_seconds(1e9, 1, HW) == 0.0
+
+
+def test_grows_with_ranks():
+    assert allreduce_seconds(1e9, 8, HW) > allreduce_seconds(1e9, 2, HW)
+
+
+def test_scales_with_params():
+    assert allreduce_seconds(2e9, 4, HW) > 1.9 * allreduce_seconds(1e9, 4, HW)

@@ -1,0 +1,45 @@
+"""DP x PP grid tests."""
+
+import pytest
+
+from repro.config import TrainConfig
+from repro.parallel.grid import ParallelLayout, layouts_for
+
+
+class TestParallelLayout:
+    def test_dp_derived(self):
+        layout = ParallelLayout(16, 4)
+        assert layout.data_parallel == 4
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelLayout(16, 5)
+
+    def test_micro_batches(self):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=128)
+        assert ParallelLayout(16, 4).micro_batches(train) == 8
+        assert ParallelLayout(16, 16).micro_batches(train) == 32
+
+    def test_micro_batches_indivisible(self):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=100)
+        with pytest.raises(ValueError):
+            ParallelLayout(16, 2).micro_batches(train)
+
+    def test_str(self):
+        assert str(ParallelLayout(16, 4)) == "dp4xpp4"
+
+
+class TestLayoutsFor:
+    def test_all_compatible_divisors(self):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=128)
+        layouts = layouts_for(16, train)
+        assert [l.pipeline_stages for l in layouts] == [1, 2, 4, 8, 16]
+
+    def test_incompatible_batches_filtered(self):
+        train = TrainConfig(micro_batch_size=4, global_batch_size=16)
+        layouts = layouts_for(16, train)
+        # dp=16 would need 16 samples split across 16 replicas = 1 sample
+        # each, below one micro-batch: filtered out.
+        assert all(
+            l.data_parallel * train.micro_batch_size <= 16 for l in layouts
+        )

@@ -1,0 +1,62 @@
+"""Runtime trainer and metrics tests."""
+
+import pytest
+
+from repro.core.balance_dp import balanced_partition
+from repro.runtime.metrics import balance_improvement, balance_std, speedup
+from repro.runtime.trainer import run_iteration, run_pipeline
+
+
+@pytest.fixture(scope="module")
+def partition(tiny_profile):
+    return balanced_partition(tiny_profile.block_times(), 3)
+
+
+class TestRunIteration:
+    def test_components_sum(self, tiny_profile, partition):
+        result = run_iteration(tiny_profile, partition, 6, data_parallel=2)
+        assert result.iteration_seconds == pytest.approx(
+            result.pipeline_seconds + result.allreduce_seconds
+            + result.optimizer_seconds
+        )
+
+    def test_no_allreduce_without_dp(self, tiny_profile, partition):
+        result = run_iteration(tiny_profile, partition, 6, data_parallel=1)
+        assert result.allreduce_seconds == 0.0
+
+    def test_startup_matches_execution(self, tiny_profile, partition):
+        result = run_iteration(tiny_profile, partition, 6)
+        assert result.startup_overhead == pytest.approx(
+            result.execution.first_forward_start(2)
+        )
+
+    def test_sliced_iteration(self, tiny_profile, partition):
+        from repro.core.partition import stage_times
+        from repro.core.slicer import make_slice_plan
+        plan = make_slice_plan(stage_times(partition, tiny_profile), 6)
+        result = run_iteration(
+            tiny_profile, partition, 6, schedule="sliced", slice_plan=plan
+        )
+        assert result.schedule_name == "autopipe-sliced"
+        assert not result.oom
+
+    def test_optimizer_cost_positive(self, tiny_profile, partition):
+        result = run_iteration(tiny_profile, partition, 6)
+        assert result.optimizer_seconds > 0
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_balance_std(self):
+        assert balance_std([1.0, 1.0, 1.0]) == 0.0
+        assert balance_std([1.0, 3.0]) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            balance_std([])
+
+    def test_balance_improvement(self):
+        assert balance_improvement([1.0, 3.0], [1.9, 2.1]) == pytest.approx(10.0)
+        assert balance_improvement([1.0, 3.0], [2.0, 2.0]) == float("inf")

@@ -1,0 +1,99 @@
+"""Schedule IR validation tests."""
+
+import pytest
+
+from repro.schedules.base import (
+    CommOp,
+    ComputeOp,
+    Schedule,
+    Transfer,
+    full_units,
+    unit_fraction,
+    unit_label,
+)
+
+
+class TestUnits:
+    def test_full_units(self):
+        assert full_units(3) == [(0, -1), (1, -1), (2, -1)]
+        with pytest.raises(ValueError):
+            full_units(0)
+
+    def test_fraction(self):
+        assert unit_fraction((0, -1)) == 1.0
+        assert unit_fraction((0, 0)) == 0.5
+        assert unit_fraction((0, 1)) == 0.5
+
+    def test_label(self):
+        assert unit_label((3, -1)) == "3"
+        assert unit_label((3, 0)) == "3a"
+        assert unit_label((3, 1)) == "3b"
+
+
+class TestComputeOp:
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ComputeOp("X", (0, -1), 1.0)
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            ComputeOp("F", (0, -1), -1.0)
+
+    def test_label(self):
+        assert ComputeOp("F", (2, 0), 1.0).label() == "F(2a)"
+
+
+class TestTransfer:
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            Transfer("t", 0, 1, -1.0)
+
+    def test_self_transfer(self):
+        with pytest.raises(ValueError):
+            Transfer("t", 1, 1, 10.0)
+
+
+class TestCommOp:
+    def test_needs_transfers(self):
+        with pytest.raises(ValueError):
+            CommOp(0, 1, ())
+
+    def test_endpoints_must_match_pair(self):
+        with pytest.raises(ValueError):
+            CommOp(0, 1, (Transfer("t", 2, 3, 1.0),))
+
+    def test_sends_and_receives_split(self):
+        op = CommOp(0, 1, (
+            Transfer("a", 0, 1, 1.0), Transfer("b", 1, 0, 2.0),
+        ))
+        assert [t.tag for t in op.sends()] == ["a"]
+        assert [t.tag for t in op.receives()] == ["b"]
+
+    def test_tag_set(self):
+        op = CommOp(0, 1, (Transfer("a", 0, 1, 1.0),))
+        assert op.tag_set == frozenset({"a"})
+
+
+class TestSchedule:
+    def test_static_bytes_defaulted(self):
+        s = Schedule("t", [[ComputeOp("F", (0, -1), 1.0)]])
+        assert s.static_bytes == [0.0]
+
+    def test_static_bytes_length_checked(self):
+        with pytest.raises(ValueError):
+            Schedule("t", [[ComputeOp("F", (0, -1), 1.0)]], static_bytes=[1.0, 2.0])
+
+    def test_comm_op_on_wrong_device(self):
+        op = CommOp(1, 0, (Transfer("a", 1, 0, 1.0),))
+        with pytest.raises(ValueError):
+            Schedule("t", [[op], []])
+
+    def test_symmetry_ok(self):
+        a = CommOp(0, 1, (Transfer("x", 0, 1, 1.0),))
+        b = CommOp(1, 0, (Transfer("x", 0, 1, 1.0),))
+        Schedule("t", [[a], [b]]).validate_comm_symmetry()
+
+    def test_symmetry_violation(self):
+        a = CommOp(0, 1, (Transfer("x", 0, 1, 1.0),))
+        with pytest.raises(ValueError):
+            Schedule("t", [[a], []]).validate_comm_symmetry()

@@ -1,0 +1,47 @@
+"""GPipe schedule tests."""
+
+import pytest
+
+from repro.core.balance_dp import balanced_partition
+from repro.runtime.trainer import run_pipeline
+
+
+@pytest.fixture(scope="module")
+def partition(tiny_profile):
+    return balanced_partition(tiny_profile.block_times(), 4)
+
+
+class TestGPipe:
+    def test_runs_and_covers_all_micro_batches(self, tiny_profile, partition):
+        result = run_pipeline(tiny_profile, partition, 6, schedule="gpipe")
+        from repro.sim.timeline import device_events
+        for dev in range(4):
+            assert len(device_events(result.events, dev, "F")) == 6
+            assert len(device_events(result.events, dev, "B")) == 6
+
+    def test_similar_iteration_time_to_1f1b(self, tiny_profile, partition):
+        """GPipe and 1F1B share the same bubble count for equal stage
+        times — 1F1B's advantage is memory, not speed."""
+        gpipe = run_pipeline(tiny_profile, partition, 8, schedule="gpipe")
+        one_f = run_pipeline(tiny_profile, partition, 8, schedule="1f1b")
+        assert gpipe.iteration_time == pytest.approx(
+            one_f.iteration_time, rel=0.10
+        )
+
+    def test_memory_grows_with_micro_batches(self, tiny_profile, partition):
+        """GPipe stashes all m micro-batches; 1F1B caps at the depth."""
+        small = run_pipeline(tiny_profile, partition, 4, schedule="gpipe")
+        large = run_pipeline(tiny_profile, partition, 12, schedule="gpipe")
+        assert large.peak_memory[0] > small.peak_memory[0]
+        one_f_small = run_pipeline(tiny_profile, partition, 4)
+        one_f_large = run_pipeline(tiny_profile, partition, 12)
+        assert one_f_large.peak_memory[0] == pytest.approx(
+            one_f_small.peak_memory[0]
+        )
+
+    def test_backward_in_reverse_order(self, tiny_profile, partition):
+        result = run_pipeline(tiny_profile, partition, 4, schedule="gpipe")
+        from repro.sim.timeline import device_events
+        bwd = device_events(result.events, 3, "B")
+        labels = [e.label for e in bwd]
+        assert labels == ["B(3)", "B(2)", "B(1)", "B(0)"]

@@ -1,0 +1,175 @@
+"""DES engine tests: compute, rendezvous, eager comm, memory, deadlock."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.hardware.cluster import Cluster
+from repro.schedules.base import CommOp, ComputeOp, Schedule, Transfer
+from repro.sim.engine import DeadlockError, Engine, execute
+
+HW = HardwareConfig()
+CLUSTER = Cluster(HW)
+
+
+def F(unit=(0, -1), dur=1.0, **kw):
+    return ComputeOp("F", unit, dur, **kw)
+
+
+def B(unit=(0, -1), dur=2.0, **kw):
+    return ComputeOp("B", unit, dur, **kw)
+
+
+def send(dev, peer, tag, nbytes=1e6, rendezvous=True):
+    return CommOp(dev, peer, (Transfer(tag, dev, peer, nbytes),), rendezvous)
+
+
+def recv(dev, peer, tag, nbytes=1e6, rendezvous=True):
+    return CommOp(dev, peer, (Transfer(tag, peer, dev, nbytes),), rendezvous)
+
+
+class TestCompute:
+    def test_single_device_serial(self):
+        sched = Schedule("t", [[F(dur=1.0), B(dur=2.0)]])
+        result = execute(sched, CLUSTER)
+        assert result.iteration_time == pytest.approx(3.0)
+        assert result.busy_time(0) == pytest.approx(3.0)
+
+    def test_independent_devices_parallel(self):
+        sched = Schedule("t", [[F(dur=1.0)], [F(dur=5.0)]])
+        result = execute(sched, CLUSTER)
+        assert result.iteration_time == pytest.approx(5.0)
+
+    def test_first_forward_start(self):
+        sched = Schedule("t", [[B(dur=1.0), F(dur=1.0)]])
+        result = execute(sched, CLUSTER)
+        assert result.first_forward_start(0) == pytest.approx(1.0)
+
+    def test_bubble_fraction(self):
+        sched = Schedule("t", [[F(dur=1.0)], [F(dur=4.0)]])
+        result = execute(sched, CLUSTER)
+        assert result.bubble_fraction(0) == pytest.approx(0.75)
+        assert result.bubble_fraction(1) == pytest.approx(0.0)
+
+
+class TestRendezvous:
+    def test_transfer_after_both_ready(self):
+        nbytes = 1e6
+        sched = Schedule("t", [
+            [F(dur=1.0), send(0, 1, "x", nbytes)],
+            [F(dur=3.0), recv(1, 0, "x", nbytes)],
+        ])
+        result = execute(sched, CLUSTER)
+        comm_time = HW.link_latency + nbytes / HW.effective_bandwidth(inter_node=False)
+        assert result.iteration_time == pytest.approx(3.0 + comm_time)
+
+    def test_sender_blocks_until_receiver_posts(self):
+        """Rendezvous semantics: fast sender waits for busy receiver."""
+        sched = Schedule("t", [
+            [send(0, 1, "x"), F(dur=0.5)],
+            [F(dur=10.0), recv(1, 0, "x")],
+        ])
+        result = execute(sched, CLUSTER)
+        f_events = [e for e in result.events if e.device == 0 and e.category == "F"]
+        assert f_events[0].start > 10.0
+
+    def test_bidirectional_full_duplex(self):
+        """A fused exchange costs one direction, not two."""
+        nbytes = 8e6
+        both = CommOp(0, 1, (
+            Transfer("a", 0, 1, nbytes), Transfer("g", 1, 0, nbytes),
+        ))
+        mirror = CommOp(1, 0, (
+            Transfer("a", 0, 1, nbytes), Transfer("g", 1, 0, nbytes),
+        ))
+        sched = Schedule("t", [[both], [mirror]])
+        result = execute(sched, CLUSTER)
+        one_way = HW.link_latency + nbytes / HW.effective_bandwidth(inter_node=False)
+        assert result.iteration_time == pytest.approx(one_way)
+
+    def test_deadlock_detected(self):
+        sched = Schedule("t", [
+            [send(0, 1, "a"), recv(0, 1, "b")],
+            [send(1, 0, "b"), recv(1, 0, "a")],
+        ])
+        with pytest.raises(DeadlockError, match="blocked"):
+            execute(sched, CLUSTER)
+
+    def test_mismatched_comm_rejected_up_front(self):
+        sched = Schedule("t", [[send(0, 1, "a")], [recv(1, 0, "zzz")]])
+        with pytest.raises(ValueError, match="unmatched comm"):
+            execute(sched, CLUSTER)
+
+
+class TestEager:
+    def test_sender_does_not_block(self):
+        sched = Schedule("t", [
+            [send(0, 1, "x", rendezvous=False), F(dur=0.5)],
+            [F(dur=10.0), recv(1, 0, "x", rendezvous=False)],
+        ])
+        result = execute(sched, CLUSTER)
+        f_events = [e for e in result.events if e.device == 0 and e.category == "F"]
+        assert f_events[0].start < 1.0
+
+    def test_receiver_waits_for_payload(self):
+        nbytes = 1e6
+        sched = Schedule("t", [
+            [F(dur=2.0), send(0, 1, "x", nbytes, rendezvous=False)],
+            [recv(1, 0, "x", nbytes, rendezvous=False), F(dur=1.0)],
+        ])
+        result = execute(sched, CLUSTER)
+        f1 = [e for e in result.events if e.device == 1 and e.category == "F"]
+        transfer = HW.link_latency + nbytes / HW.effective_bandwidth(inter_node=False)
+        assert f1[0].start == pytest.approx(2.0 + transfer)
+
+
+class TestMemory:
+    def test_stash_accumulates_until_freed(self):
+        gb = 2**30
+        ops = [
+            F((0, -1), 0.1, alloc_bytes=2 * gb),
+            F((1, -1), 0.1, alloc_bytes=2 * gb),
+            B((0, -1), 0.1, free_bytes=2 * gb),
+            B((1, -1), 0.1, free_bytes=2 * gb),
+        ]
+        sched = Schedule("t", [ops], static_bytes=[1 * gb])
+        result = execute(sched, CLUSTER)
+        assert result.peak_memory[0] == pytest.approx(5 * gb)
+
+    def test_workspace_is_transient(self):
+        gb = 2**30
+        ops = [F((0, -1), 0.1, workspace_bytes=3 * gb), F((1, -1), 0.1)]
+        sched = Schedule("t", [ops], static_bytes=[gb])
+        result = execute(sched, CLUSTER)
+        assert result.peak_memory[0] == pytest.approx(4 * gb)
+
+    def test_oom_flagging(self):
+        too_big = HW.gpu_memory + 1
+        sched = Schedule("t", [[F((0, -1), 0.1, alloc_bytes=too_big)]])
+        result = execute(sched, CLUSTER)
+        assert result.oom
+        assert result.oom_devices == [0]
+
+    def test_no_oom_under_capacity(self):
+        sched = Schedule("t", [[F((0, -1), 0.1, alloc_bytes=1e9)]])
+        assert not execute(sched, CLUSTER).oom
+
+
+class TestDeviceMap:
+    def test_inter_node_links_slower(self):
+        nbytes = 64e6
+        def mk(devmap):
+            sched = Schedule("t", [
+                [send(0, 1, "x", nbytes)], [recv(1, 0, "x", nbytes)],
+            ])
+            return execute(sched, CLUSTER, device_map=devmap).iteration_time
+        same_node = mk([0, 1])
+        cross_node = mk([0, HW.gpus_per_node])
+        assert cross_node != same_node or \
+            HW.intra_node_bandwidth == HW.inter_node_bandwidth
+
+    def test_bad_device_map_rejected(self):
+        sched = Schedule("t", [[F()]])
+        with pytest.raises(ValueError):
+            Engine(sched, CLUSTER, device_map=[99])
+        with pytest.raises(ValueError):
+            Engine(sched, CLUSTER, device_map=[0, 1])

@@ -1,0 +1,89 @@
+"""Additional DES engine edge cases."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.hardware.cluster import Cluster
+from repro.schedules.base import CommOp, ComputeOp, Schedule, Transfer
+from repro.sim.engine import DeadlockError, execute
+
+HW = HardwareConfig()
+CLUSTER = Cluster(HW)
+
+
+def test_eager_combined_send_and_recv():
+    """One eager CommOp can carry a send and a recv simultaneously."""
+    a = CommOp(0, 1, (
+        Transfer("x", 0, 1, 1e6), Transfer("y", 1, 0, 1e6),
+    ), rendezvous=False)
+    b = CommOp(1, 0, (
+        Transfer("y", 1, 0, 1e6), Transfer("x", 0, 1, 1e6),
+    ), rendezvous=False)
+    # Deposits must exist before the receive: prime with the peer's send
+    # happening first in program order on each side.
+    sched = Schedule("t", [
+        [CommOp(0, 1, (Transfer("x", 0, 1, 1e6),), rendezvous=False),
+         CommOp(0, 1, (Transfer("y", 1, 0, 1e6),), rendezvous=False)],
+        [CommOp(1, 0, (Transfer("y", 1, 0, 1e6),), rendezvous=False),
+         CommOp(1, 0, (Transfer("x", 0, 1, 1e6),), rendezvous=False)],
+    ])
+    result = execute(sched, CLUSTER)
+    assert result.iteration_time > 0
+
+
+def test_zero_byte_transfer_is_latency_only():
+    sched = Schedule("t", [
+        [CommOp(0, 1, (Transfer("x", 0, 1, 0.0),))],
+        [CommOp(1, 0, (Transfer("x", 0, 1, 0.0),))],
+    ])
+    result = execute(sched, CLUSTER)
+    assert result.iteration_time == pytest.approx(0.0, abs=1e-9)
+
+
+def test_three_device_chain():
+    def send(d, p, tag):
+        return CommOp(d, p, (Transfer(tag, d, p, 1e6),))
+
+    def recv(d, p, tag):
+        return CommOp(d, p, (Transfer(tag, p, d, 1e6),))
+
+    sched = Schedule("t", [
+        [ComputeOp("F", (0, -1), 1.0), send(0, 1, "a")],
+        [recv(1, 0, "a"), ComputeOp("F", (0, -1), 1.0), send(1, 2, "b")],
+        [recv(2, 1, "b"), ComputeOp("F", (0, -1), 1.0)],
+    ])
+    result = execute(sched, CLUSTER)
+    assert result.first_forward_start(2) > result.first_forward_start(1) > 0
+
+
+def test_self_deadlock_single_device():
+    """A device whose only op waits on an absent peer deadlocks cleanly."""
+    sched = Schedule("t", [
+        [CommOp(0, 1, (Transfer("x", 0, 1, 1.0),))],
+        [ComputeOp("F", (0, -1), 1.0)],
+    ])
+    with pytest.raises(ValueError):
+        # symmetry validation catches it before execution even starts
+        execute(sched, CLUSTER)
+
+
+def test_deadlock_reports_finished_devices():
+    sched = Schedule("t", [
+        [CommOp(0, 1, (Transfer("a", 0, 1, 1.0),)),
+         CommOp(0, 1, (Transfer("b", 1, 0, 1.0),))],
+        [CommOp(1, 0, (Transfer("b", 1, 0, 1.0),)),
+         CommOp(1, 0, (Transfer("a", 0, 1, 1.0),))],
+    ])
+    with pytest.raises(DeadlockError) as err:
+        execute(sched, CLUSTER)
+    assert "dev0" in str(err.value)
+    assert "dev1" in str(err.value)
+
+
+def test_events_sorted_within_device():
+    sched = Schedule("t", [[
+        ComputeOp("F", (0, -1), 1.0), ComputeOp("B", (0, -1), 2.0),
+    ]])
+    result = execute(sched, CLUSTER)
+    starts = [e.start for e in result.events if e.device == 0]
+    assert starts == sorted(starts)

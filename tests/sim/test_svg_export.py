@@ -1,0 +1,70 @@
+"""SVG Gantt export tests."""
+
+import io
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.balance_dp import balanced_partition
+from repro.runtime.trainer import run_pipeline
+from repro.sim.svg_export import export_svg, timeline_to_svg
+from repro.sim.timeline import TimelineEvent
+
+
+@pytest.fixture(scope="module")
+def result(tiny_profile):
+    p = balanced_partition(tiny_profile.block_times(), 3)
+    return run_pipeline(tiny_profile, p, 4)
+
+
+def test_valid_xml(result):
+    doc = timeline_to_svg(result.events, 3)
+    root = ET.fromstring(doc)
+    assert root.tag.endswith("svg")
+
+
+def test_one_rect_per_event_plus_lanes(result):
+    doc = timeline_to_svg(result.events, 3)
+    root = ET.fromstring(doc)
+    rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+    assert len(rects) == len(result.events) + 3  # + one lane background each
+
+
+def test_colours_by_category():
+    events = [
+        TimelineEvent(0, "F", "F(0)", 0.0, 1.0),
+        TimelineEvent(0, "B", "B(0)", 1.0, 2.0),
+        TimelineEvent(0, "comm", "send", 2.0, 2.1),
+    ]
+    doc = timeline_to_svg(events, 1)
+    assert "#4c9f70" in doc and "#4a7fb5" in doc and "#d9a441" in doc
+
+
+def test_label_escaping():
+    events = [TimelineEvent(0, "F", 'F<&">', 0.0, 1.0)]
+    doc = timeline_to_svg(events, 1)
+    ET.fromstring(doc)  # parses despite hostile label
+    assert "F<&" not in doc
+
+
+def test_empty_timeline_still_renders():
+    doc = timeline_to_svg([], 2)
+    ET.fromstring(doc)
+
+
+def test_invalid_device_count():
+    with pytest.raises(ValueError):
+        timeline_to_svg([], 0)
+
+
+def test_export_to_path(result, tmp_path):
+    path = tmp_path / "timeline.svg"
+    export_svg(result.events, 3, str(path))
+    assert path.read_text().startswith("<svg")
+
+
+def test_export_to_stream(result):
+    buf = io.StringIO()
+    doc = export_svg(result.events, 3, buf, title="custom")
+    assert buf.getvalue() == doc
+    assert "custom" in doc

@@ -1,0 +1,65 @@
+"""Timeline analysis helper tests."""
+
+import pytest
+
+from repro.sim.timeline import (
+    TimelineEvent,
+    busy_time,
+    device_events,
+    first_compute_start,
+    idle_windows,
+    render_ascii,
+)
+
+EVENTS = [
+    TimelineEvent(0, "F", "F(0)", 0.0, 1.0, "warmup"),
+    TimelineEvent(0, "comm", "send", 1.0, 1.2),
+    TimelineEvent(0, "B", "B(0)", 1.2, 3.2, "steady"),
+    TimelineEvent(1, "F", "F(0)", 1.2, 2.2, "steady"),
+]
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        TimelineEvent(0, "F", "x", 2.0, 1.0)
+
+
+def test_duration():
+    assert EVENTS[0].duration == pytest.approx(1.0)
+
+
+def test_device_events_filtering():
+    assert len(device_events(EVENTS, 0)) == 3
+    assert len(device_events(EVENTS, 0, "F")) == 1
+    assert len(device_events(EVENTS, 1)) == 1
+
+
+def test_busy_time_excludes_comm():
+    assert busy_time(EVENTS, 0) == pytest.approx(3.0)
+
+
+def test_first_compute_start():
+    assert first_compute_start(EVENTS, 1, "F") == pytest.approx(1.2)
+    with pytest.raises(ValueError):
+        first_compute_start(EVENTS, 1, "B")
+
+
+def test_idle_windows():
+    gaps = idle_windows(EVENTS, 1, horizon=4.0)
+    assert gaps == [(0.0, 1.2), (2.2, 4.0)]
+
+
+def test_idle_windows_busy_device():
+    gaps = idle_windows(EVENTS, 0, horizon=3.2)
+    assert gaps == []
+
+
+def test_render_ascii_shape():
+    text = render_ascii(EVENTS, 2, width=40)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert "F" in lines[0] and "B" in lines[0]
+
+
+def test_render_ascii_empty():
+    assert "empty" in render_ascii([], 2)

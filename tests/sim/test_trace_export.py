@@ -1,0 +1,78 @@
+"""Chrome trace export tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.balance_dp import balanced_partition
+from repro.runtime.trainer import run_pipeline
+from repro.sim.timeline import TimelineEvent
+from repro.sim.trace_export import export_chrome_trace, timeline_to_trace_events
+
+
+@pytest.fixture(scope="module")
+def result(tiny_profile):
+    p = balanced_partition(tiny_profile.block_times(), 3)
+    return run_pipeline(tiny_profile, p, 4)
+
+
+class TestTraceEvents:
+    def test_metadata_records_present(self):
+        events = [TimelineEvent(0, "F", "F(0)", 0.0, 1.0, "warmup")]
+        records = timeline_to_trace_events(events)
+        phs = [r["ph"] for r in records]
+        assert phs.count("M") == 2  # process + one thread name
+        assert phs.count("X") == 1
+
+    def test_microsecond_timestamps(self):
+        events = [TimelineEvent(2, "B", "B(1)", 0.5, 1.5)]
+        (record,) = [
+            r for r in timeline_to_trace_events(events) if r["ph"] == "X"
+        ]
+        assert record["ts"] == pytest.approx(0.5e6)
+        assert record["dur"] == pytest.approx(1.0e6)
+        assert record["tid"] == 2
+
+    def test_phase_in_args(self):
+        events = [TimelineEvent(0, "F", "F(0)", 0.0, 1.0, "steady")]
+        (record,) = [
+            r for r in timeline_to_trace_events(events) if r["ph"] == "X"
+        ]
+        assert record["args"] == {"phase": "steady"}
+
+
+class TestExport:
+    def test_export_to_stream(self, result):
+        buf = io.StringIO()
+        count = export_chrome_trace(result, buf)
+        payload = json.loads(buf.getvalue())
+        assert len(payload["traceEvents"]) == count
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_export_to_path(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(result, str(path))
+        payload = json.loads(path.read_text())
+        x_events = [r for r in payload["traceEvents"] if r["ph"] == "X"]
+        assert len(x_events) == len(result.events)
+
+    def test_every_device_named(self, result):
+        buf = io.StringIO()
+        export_chrome_trace(result, buf)
+        payload = json.loads(buf.getvalue())
+        names = [
+            r["args"]["name"] for r in payload["traceEvents"]
+            if r.get("name") == "thread_name"
+        ]
+        assert sorted(names) == ["stage 0", "stage 1", "stage 2"]
+
+    def test_process_name_defaults_to_schedule(self, result):
+        buf = io.StringIO()
+        export_chrome_trace(result, buf)
+        payload = json.loads(buf.getvalue())
+        (proc,) = [
+            r for r in payload["traceEvents"]
+            if r.get("name") == "process_name"
+        ]
+        assert proc["args"]["name"] == "1f1b"

@@ -1,0 +1,30 @@
+"""Public API surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_docstring_flow():
+    """The flow shown in the package docstring must work verbatim-ish."""
+    from repro import (
+        DEFAULT_CLUSTER_HW,
+        GPT2_345M,
+        TrainConfig,
+        autopipe_plan,
+    )
+
+    train = TrainConfig(micro_batch_size=4, global_batch_size=32)
+    solution = autopipe_plan(
+        GPT2_345M, DEFAULT_CLUSTER_HW, train, num_stages=4, num_micro_batches=8
+    )
+    layers = solution.partition.layers_per_stage(solution.profile)
+    assert len(layers) == 4
+    assert sum(layers) == 24

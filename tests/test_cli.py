@@ -1,0 +1,25 @@
+"""CLI dispatch tests (no heavy experiments executed)."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(ALL_EXPERIMENTS)
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["figure99"])
+
+
+def test_table2_runs(capsys):
+    """table2 is pure table construction — cheap enough for a unit test."""
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "6.5" in out

@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example script must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_speedup():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "speedup" in result.stdout
