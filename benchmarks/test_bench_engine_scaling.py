@@ -1,0 +1,142 @@
+"""Bench: simulator hot-path scaling (DES engine + planner search).
+
+Unlike the other bench modules this one does not regenerate a paper
+artifact — it guards the two hot paths the evaluation sweeps lean on:
+
+* the event-driven DES engine, timed on the Fig. 10 1F1B setting
+  (GPT-2 345M, m = 2·depth) across pipeline depths, and
+* the AutoPipe planner search (``plan_partition``) plus the shared
+  :class:`SimCache` that deduplicates analytic simulations across calls.
+
+The measured numbers are written to ``BENCH_engine.json`` at the repo
+root so before/after comparisons survive the run.  The only hard assert
+is a *generous absolute budget* on the deepest DES case: the seed's
+polling-sweep engine needed ~7.5 ms for the 12-stage Fig. 10 pipeline
+and the ready-queue engine ~0.75 ms, so a 50 ms ceiling only trips on a
+genuine algorithmic regression (e.g. the quadratic sweep coming back),
+never on machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.baselines.megatron import uniform_partition
+from repro.core.planner import SimCache, plan_partition
+from repro.experiments.common import make_profile
+from repro.hardware.cluster import Cluster
+from repro.models.zoo import BERT_LARGE, GPT2_345M
+from repro.runtime.trainer import build_schedule
+from repro.sim.engine import Engine
+
+DEPTHS = (2, 4, 8, 12)
+#: Wall-clock ceiling for one 12-stage Fig. 10 DES run.  Seed: ~7.5 ms,
+#: event-driven engine: ~0.75 ms.  Generous so only regressions trip it.
+DES_BUDGET_12_STAGE_SECONDS = 0.050
+
+_RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _merge_into_results(section: str, payload: dict) -> None:
+    data = {}
+    if _RESULTS_PATH.exists():
+        try:
+            data = json.loads(_RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    _RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _time_des(depth: int, reps: int = 5) -> float:
+    """Best-of-``reps`` wall clock for one Fig. 10 DES execution."""
+    m = 2 * depth
+    profile = make_profile(GPT2_345M, 4, m)
+    partition = uniform_partition(profile, depth)
+    sched = build_schedule(profile, partition, m)
+    cluster = Cluster(profile.hardware)
+    devices = cluster.pipeline_devices(depth)
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        Engine(sched, cluster, device_map=devices).run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_des_scaling(benchmark):
+    """DES wall clock vs pipeline depth, plus the absolute perf guard."""
+    curve = {depth: _time_des(depth) for depth in DEPTHS}
+    # The headline 12-stage number also goes on the benchmark clock.
+    deepest = benchmark.pedantic(
+        _time_des, args=(DEPTHS[-1],), rounds=1, iterations=1
+    )
+    curve[DEPTHS[-1]] = min(curve[DEPTHS[-1]], deepest)
+
+    print()
+    for depth, seconds in curve.items():
+        print(f"DES depth {depth:2d}: {seconds * 1e3:8.3f} ms")
+
+    _merge_into_results("des", {
+        "setting": "fig10 1f1b, gpt2-345m, m=2*depth, best of 5",
+        "seconds_by_depth": {str(d): s for d, s in curve.items()},
+        "budget_12_stage_seconds": DES_BUDGET_12_STAGE_SECONDS,
+    })
+
+    assert curve[12] < DES_BUDGET_12_STAGE_SECONDS, (
+        f"12-stage DES run took {curve[12] * 1e3:.2f} ms — over the "
+        f"{DES_BUDGET_12_STAGE_SECONDS * 1e3:.0f} ms regression budget"
+    )
+    # Deeper pipelines must not blow up super-linearly (the old sweep was
+    # quadratic in executed ops); 6x the depth may cost at most ~60x.
+    assert curve[12] < 60 * max(curve[2], 1e-4)
+
+
+def test_bench_planner_search(benchmark):
+    """Planner search wall clock and the cross-call SimCache hit rate."""
+    timings = {}
+    for name, model in (("gpt2-345m", GPT2_345M), ("bert-large", BERT_LARGE)):
+        profile = make_profile(model, 4, 16)
+        best = float("inf")
+        result = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            result = plan_partition(profile, 8, 16)
+            best = min(best, time.perf_counter() - t0)
+        timings[name] = {"seconds": best, "evaluations": result.evaluations}
+
+    # A shared cache across two identical searches must absorb every
+    # simulation the second time around.
+    profile = make_profile(GPT2_345M, 4, 16)
+    cache = SimCache()
+    plan_partition(profile, 8, 16, sim_cache=cache)
+    cold_misses = cache.misses
+    plan_partition(profile, 8, 16, sim_cache=cache)
+    warm_misses = cache.misses - cold_misses
+
+    warm = benchmark.pedantic(
+        plan_partition, args=(profile, 8, 16),
+        kwargs={"sim_cache": cache}, rounds=1, iterations=1,
+    )
+
+    print()
+    for name, row in timings.items():
+        print(f"planner {name}: {row['seconds'] * 1e3:8.2f} ms  "
+              f"({row['evaluations']} evaluations)")
+    print(f"sim cache: {cold_misses} cold misses, "
+          f"{warm_misses} warm misses, {cache.hits} hits")
+
+    _merge_into_results("planner", {
+        "setting": "plan_partition depth=8 m=16, best of 3",
+        "timings": timings,
+        "sim_cache": {
+            "cold_misses": cold_misses,
+            "warm_misses": warm_misses,
+            "hits": cache.hits,
+        },
+    })
+
+    assert warm.evaluations == timings["gpt2-345m"]["evaluations"]
+    assert warm_misses == 0, "warm re-plan should be served from the cache"

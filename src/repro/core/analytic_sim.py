@@ -28,13 +28,39 @@ tight, the walk prefers the one on the **higher stage index**, selecting
 the longest path "closest to the last pipeline stage in the 1F1B phase".
 The master stage is the stage where the critical path spends the most
 steady-phase (1F1B) time, ties broken toward the last stage.
+
+Performance notes (the planner calls :meth:`PipelineSim.run` thousands of
+times per search sweep):
+
+* the dependency DAG's **topology** is a pure function of ``(n, m)`` — a
+  module-level :data:`shape cache <_SHAPE_CACHE>` stores the operation
+  list, flat predecessor index arrays and a precomputed topological order,
+  so repeated simulations of one shape skip graph construction entirely;
+* every op has at most two predecessors and the dependency wavefront is at
+  most ``n`` wide, so the recurrence itself runs as a tight loop over the
+  cached flat index arrays (numpy handles the per-stage duration gather
+  and the latest-op selection, where the arrays are wide enough to win);
+* tight-predecessor sets are only needed along the critical path, so they
+  are computed lazily during the backtrack instead of for every op;
+* :class:`SimResult` stores flat arrays and materialises the
+  ``op_start``/``op_end``/``op_phase`` dictionaries on first access —
+  planner-style consumers that read only ``iteration_time`` and
+  ``master_stage`` never pay for dict construction.
+
+All of this is exact: start/end times, critical path, master stage and
+tie-breaks are bit-for-bit identical to the straightforward dict-based
+evaluation of the same recurrences (tests/core/test_analytic_sim_equivalence.py
+checks against a reference implementation).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.partition import PartitionScheme, StageTimes, stage_times
 from repro.profiling.modelconfig import ModelProfile
@@ -47,9 +73,126 @@ STEADY = "steady"
 COOLDOWN = "cooldown"
 
 
+def _stage_order(n: int, m: int, x: int) -> List[Tuple[OpId, str]]:
+    """The (op, phase) execution sequence of stage ``x`` (Megatron 1F1B)."""
+    w = min(m, n - 1 - x)
+    s = m - w
+    order: List[Tuple[OpId, str]] = []
+    for mb in range(w):
+        order.append((("F", x, mb), WARMUP))
+    for j in range(s):
+        order.append((("F", x, w + j), STEADY))
+        order.append((("B", x, j), STEADY))
+    for mb in range(s, m):
+        order.append((("B", x, mb), COOLDOWN))
+    return order
+
+
+class _Shape:
+    """Topology of the ``(n, m)`` 1F1B dependency DAG.
+
+    Nothing here depends on durations, so one instance is shared by every
+    simulation of the same shape.  Arrays are indexed by a stage-major op
+    index (stage ``x`` owns indices ``x*2m .. x*2m + 2m - 1`` in execution
+    order).
+    """
+
+    __slots__ = (
+        "n", "m", "ops", "index", "intra", "cross", "order",
+        "kahn_pos", "stage", "is_fwd", "phases", "startup_index",
+    )
+
+    def __init__(self, n: int, m: int) -> None:
+        self.n = n
+        self.m = m
+        ops: List[OpId] = []
+        phases: List[str] = []
+        index: Dict[OpId, int] = {}
+        for x in range(n):
+            for op, ph in _stage_order(n, m, x):
+                index[op] = len(ops)
+                ops.append(op)
+                phases.append(ph)
+        size = len(ops)
+        #: intra-stage predecessor index (-1 for the first op of a stage).
+        intra = [-1] * size
+        for x in range(n):
+            base = x * 2 * m
+            for k in range(1, 2 * m):
+                intra[base + k] = base + k - 1
+        #: cross-stage dependency index (-1 when none): FP waits on the
+        #: previous stage's FP, BP on the next stage's BP.
+        cross = [-1] * size
+        for i, (kind, x, mb) in enumerate(ops):
+            if kind == "F" and x > 0:
+                cross[i] = index[("F", x - 1, mb)]
+            elif kind == "B" and x < n - 1:
+                cross[i] = index[("B", x + 1, mb)]
+
+        # Kahn's algorithm (FIFO, seeded in stage-major op order).  The
+        # completion order is purely topological, so it is cached with the
+        # shape; ``kahn_pos`` reproduces the reference implementation's
+        # dict insertion order for the latest-op tie-break.
+        indeg = [0] * size
+        succs: List[List[int]] = [[] for _ in range(size)]
+        for i in range(size):
+            for q in (cross[i], intra[i]):
+                if q >= 0:
+                    indeg[i] += 1
+                    succs[q].append(i)
+        ready = deque(i for i in range(size) if indeg[i] == 0)
+        order: List[int] = []
+        while ready:
+            i = ready.popleft()
+            order.append(i)
+            for nxt in succs[i]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != size:
+            raise RuntimeError("cyclic pipeline dependency graph (internal bug)")
+        kahn_pos = np.empty(size, dtype=np.int64)
+        for pos, i in enumerate(order):
+            kahn_pos[i] = pos
+
+        self.ops = ops
+        self.index = index
+        self.intra = intra
+        self.cross = cross
+        self.order = order
+        self.kahn_pos = kahn_pos
+        self.stage = np.asarray([op[1] for op in ops], dtype=np.int64)
+        self.is_fwd = np.asarray([op[0] == "F" for op in ops])
+        self.phases = tuple(phases)
+        self.startup_index = index[("F", n - 1, 0)]
+
+
+#: LRU cache of DAG topologies keyed by (num_stages, num_micro_batches).
+_SHAPE_CACHE: "OrderedDict[Tuple[int, int], _Shape]" = OrderedDict()
+_SHAPE_CACHE_SIZE = 128
+
+
+def _shape(n: int, m: int) -> _Shape:
+    key = (n, m)
+    shape = _SHAPE_CACHE.get(key)
+    if shape is None:
+        shape = _Shape(n, m)
+        _SHAPE_CACHE[key] = shape
+        if len(_SHAPE_CACHE) > _SHAPE_CACHE_SIZE:
+            _SHAPE_CACHE.popitem(last=False)
+    else:
+        _SHAPE_CACHE.move_to_end(key)
+    return shape
+
+
 @dataclass(frozen=True)
 class SimResult:
-    """Output of one pipeline simulation."""
+    """Output of one pipeline simulation.
+
+    Per-op start/end/phase are stored as flat arrays aligned with the
+    shape's op list; the dict views (``op_start`` etc.) are built lazily on
+    first access so hot planner loops never pay for them.
+    """
 
     iteration_time: float
     startup_overhead: float
@@ -57,9 +200,22 @@ class SimResult:
     critical_path: Tuple[OpId, ...]
     stage_times: StageTimes
     num_micro_batches: int
-    op_start: Dict[OpId, float]
-    op_end: Dict[OpId, float]
-    op_phase: Dict[OpId, str]
+    _ops: List[OpId] = field(repr=False, compare=False)
+    _start: "np.ndarray" = field(repr=False, compare=False)
+    _end: "np.ndarray" = field(repr=False, compare=False)
+    _phases: Tuple[str, ...] = field(repr=False, compare=False)
+
+    @cached_property
+    def op_start(self) -> Dict[OpId, float]:
+        return dict(zip(self._ops, self._start.tolist()))
+
+    @cached_property
+    def op_end(self) -> Dict[OpId, float]:
+        return dict(zip(self._ops, self._end.tolist()))
+
+    @cached_property
+    def op_phase(self) -> Dict[OpId, str]:
+        return dict(zip(self._ops, self._phases))
 
     @property
     def num_stages(self) -> int:
@@ -94,23 +250,13 @@ class PipelineSim:
         self.m = num_micro_batches
         self.comm_mode = comm_mode
         self.n = times.num_stages
+        self._shape = _shape(self.n, self.m)
 
     # -- op-order construction --------------------------------------------
 
     def stage_order(self, x: int) -> List[Tuple[OpId, str]]:
         """The (op, phase) execution sequence of stage ``x``."""
-        n, m = self.n, self.m
-        w = min(m, n - 1 - x)
-        s = m - w
-        order: List[Tuple[OpId, str]] = []
-        for mb in range(w):
-            order.append((("F", x, mb), WARMUP))
-        for j in range(s):
-            order.append((("F", x, w + j), STEADY))
-            order.append((("B", x, j), STEADY))
-        for mb in range(s, m):
-            order.append((("B", x, mb), COOLDOWN))
-        return order
+        return _stage_order(self.n, self.m, x)
 
     def _dependencies(self, op: OpId) -> List[OpId]:
         kind, x, mb = op
@@ -132,100 +278,123 @@ class PipelineSim:
     # -- evaluation --------------------------------------------------------
 
     def run(self) -> SimResult:
+        shape = self._shape
         n, comm = self.n, self.times.comm
-        phase: Dict[OpId, str] = {}
-        intra_pred: Dict[OpId, Optional[OpId]] = {}
-        for x in range(n):
-            prev: Optional[OpId] = None
-            for op, ph in self.stage_order(x):
-                phase[op] = ph
-                intra_pred[op] = prev
-                prev = op
+        size = len(shape.ops)
+        # Per-op durations: gather the stage's fwd/bwd time by op kind.
+        dur: List[float] = np.where(
+            shape.is_fwd,
+            np.asarray(self.times.fwd)[shape.stage],
+            np.asarray(self.times.bwd)[shape.stage],
+        ).tolist()
 
-        # Kahn's algorithm over intra + cross dependencies.
-        preds: Dict[OpId, List[OpId]] = {}
-        succs: Dict[OpId, List[OpId]] = {op: [] for op in phase}
-        indeg: Dict[OpId, int] = {}
-        for op in phase:
-            p = list(self._dependencies(op))
-            ip = intra_pred[op]
-            if ip is not None:
-                p.append(ip)
-            preds[op] = p
-            indeg[op] = len(p)
-            for q in p:
-                succs[q].append(op)
-
-        start: Dict[OpId, float] = {}
-        end: Dict[OpId, float] = {}
-        tight_pred: Dict[OpId, Optional[OpId]] = {}
-        ready = deque(op for op, d in indeg.items() if d == 0)
-        done = 0
-        while ready:
-            op = ready.popleft()
-            done += 1
-            cross = self._dependencies(op)
-            if self.comm_mode == "paper":
+        intra, cross = shape.intra, shape.cross
+        start = [0.0] * size
+        end = [0.0] * size
+        if self.comm_mode == "paper":
+            # start = max(0, intra end, cross end) (+ Comm when the paper's
+            # equations add it, i.e. exactly when a cross dependency exists).
+            for i in shape.order:
                 base = 0.0
-                for q in preds[op]:
-                    base = max(base, end[q])
-                s = base + comm if self._comm_applies(op) else base
-                tol = 1e-12 + 1e-9 * max(base, 1.0)
-                tight = [q for q in preds[op] if end[q] >= base - tol]
-            else:
+                c = cross[i]
+                if c >= 0:
+                    base = end[c]
+                q = intra[i]
+                if q >= 0 and end[q] > base:
+                    base = end[q]
+                s = base + comm if c >= 0 else base
+                start[i] = s
+                end[i] = s + dur[i]
+        else:
+            # "edges": Comm charged on the cross-dependency arrival only.
+            for i in shape.order:
                 s = 0.0
-                tight = []
-                for q in preds[op]:
-                    arrival = end[q] + (comm if q in cross else 0.0)
+                c = cross[i]
+                if c >= 0:
+                    arrival = end[c] + comm
                     if arrival > s:
                         s = arrival
-                for q in preds[op]:
-                    arrival = end[q] + (comm if q in cross else 0.0)
-                    if arrival >= s - (1e-12 + 1e-9 * max(s, 1.0)):
-                        tight.append(q)
-            # Unique predecessor: prefer the tight one on the highest stage
-            # (paper Fig. 4 tie-break), then the latest-finishing.
-            tight_pred[op] = (
-                max(tight, key=lambda q: (q[1], end[q])) if tight else None
-            )
-            start[op] = s
-            end[op] = s + self._duration(op)
-            for nxt in succs[op]:
-                indeg[nxt] -= 1
-                if indeg[nxt] == 0:
-                    ready.append(nxt)
-        if done != len(phase):
-            raise RuntimeError("cyclic pipeline dependency graph (internal bug)")
+                q = intra[i]
+                if q >= 0 and end[q] > s:
+                    s = end[q]
+                start[i] = s
+                end[i] = s + dur[i]
 
-        last_op = max(end, key=lambda op: (end[op], op[1]))
-        iteration_time = end[last_op]
-        path: List[OpId] = []
-        cur: Optional[OpId] = last_op
-        while cur is not None:
-            path.append(cur)
-            cur = tight_pred[cur]
-        path.reverse()
+        start_arr = np.asarray(start)
+        end_arr = np.asarray(end)
+        # Latest op, ties broken toward the higher stage, then the earliest
+        # Kahn completion (the reference dict-iteration order).
+        candidates = np.nonzero(end_arr == end_arr.max())[0]
+        top_stage = shape.stage[candidates]
+        candidates = candidates[top_stage == top_stage.max()]
+        last = int(candidates[np.argmin(shape.kahn_pos[candidates])])
+        iteration_time = end[last]
 
-        master = self._master_stage(path, phase)
-        startup = start[("F", n - 1, 0)]
+        path_idx: List[int] = []
+        cur = last
+        while cur >= 0:
+            path_idx.append(cur)
+            cur = self._tight_pred(cur, start, end, dur)
+        path_idx.reverse()
+
+        master = self._master_stage(path_idx, dur)
         return SimResult(
             iteration_time=iteration_time,
-            startup_overhead=startup,
+            startup_overhead=start[shape.startup_index],
             master_stage=master,
-            critical_path=tuple(path),
+            critical_path=tuple(shape.ops[i] for i in path_idx),
             stage_times=self.times,
             num_micro_batches=self.m,
-            op_start=start,
-            op_end=end,
-            op_phase=phase,
+            _ops=shape.ops,
+            _start=start_arr,
+            _end=end_arr,
+            _phases=shape.phases,
         )
 
-    def _master_stage(self, path: List[OpId], phase: Dict[OpId, str]) -> int:
+    def _tight_pred(
+        self, i: int, start: List[float], end: List[float], dur: List[float]
+    ) -> int:
+        """The unique critical predecessor of op ``i`` (or -1 at a source).
+
+        Tightness uses the same tolerance as the recurrences; among tight
+        predecessors the walk prefers the higher stage (paper Fig. 4), then
+        the latest-finishing.  Computed lazily: only ops on the backtracked
+        path ever need it.
+        """
+        shape = self._shape
+        c, q = shape.cross[i], shape.intra[i]
+        preds = [p for p in (c, q) if p >= 0]
+        if not preds:
+            return -1
+        comm = self.times.comm
+        if self.comm_mode == "paper":
+            base = 0.0
+            for p in preds:
+                if end[p] > base:
+                    base = end[p]
+            tol = 1e-12 + 1e-9 * max(base, 1.0)
+            tight = [p for p in preds if end[p] >= base - tol]
+        else:
+            s = start[i]
+            tol = 1e-12 + 1e-9 * max(s, 1.0)
+            tight = [
+                p for p in preds
+                if end[p] + (comm if p == c else 0.0) >= s - tol
+            ]
+        stage = shape.stage
+        best = tight[0]
+        for p in tight[1:]:
+            if (stage[p], end[p]) > (stage[best], end[best]):
+                best = p
+        return best
+
+    def _master_stage(self, path_idx: List[int], dur: List[float]) -> int:
         """Stage with the most steady-phase critical-path time (tie: last)."""
+        shape = self._shape
         weight = [0.0] * self.n
-        for op in path:
-            if phase[op] == STEADY:
-                weight[op[1]] += self._duration(op)
+        for i in path_idx:
+            if shape.phases[i] == STEADY:
+                weight[shape.ops[i][1]] += dur[i]
         if max(weight) > 0.0:
             best = max(weight)
             return max(x for x in range(self.n) if weight[x] >= best * (1 - 1e-9))

@@ -26,6 +26,7 @@ forward), so the whole search typically evaluates tens of schemes.
 from __future__ import annotations
 
 import time as _time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -36,6 +37,62 @@ from repro.models.transformer import layer_groups
 from repro.profiling.modelconfig import ModelProfile
 
 Sizes = Tuple[int, ...]
+
+#: cache key: per-stage times, micro-batch count and comm mode.
+_SimKey = Tuple[Tuple[float, ...], Tuple[float, ...], float, int, str]
+
+
+class SimCache:
+    """Cross-call memo of :class:`PipelineSim` results.
+
+    ``plan_partition`` already memoises within one search (its per-call
+    ``sizes`` cache also defines the reported evaluation count).  Sweeps —
+    the Table III/IV planner comparisons, Fig. 12 scaling — re-plan many
+    overlapping configurations whose candidate partitions aggregate to the
+    *same stage-time vectors*; sharing one ``SimCache`` across those calls
+    skips the redundant simulations entirely.  Results are immutable and
+    the key captures every simulator input, so sharing is semantics-free:
+    callers get bit-identical :class:`SimResult` objects either way.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[_SimKey, SimResult]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def simulate(
+        self, times: StageTimes, num_micro_batches: int, comm_mode: str
+    ) -> SimResult:
+        """Return the memoised simulation of ``times``, running it once."""
+        key = (times.fwd, times.bwd, times.comm, num_micro_batches, comm_mode)
+        sim = self._data.get(key)
+        if sim is not None:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return sim
+        self.misses += 1
+        sim = PipelineSim(times, num_micro_batches, comm_mode=comm_mode).run()
+        self._data[key] = sim
+        if len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+        return sim
+
+
+#: process-wide memo shared by the sweep entry points (``autopipe_config``,
+#: ``evaluate_config``, DAPPLE's candidate scoring).  Safe to share because
+#: results are immutable and keyed by every simulator input.
+_DEFAULT_SIM_CACHE = SimCache(max_entries=8192)
+
+
+def default_sim_cache() -> SimCache:
+    """The process-wide :class:`SimCache` used when callers pass none."""
+    return _DEFAULT_SIM_CACHE
 
 
 @dataclass(frozen=True)
@@ -234,6 +291,7 @@ def plan_partition(
     max_evaluations: int = 512,
     keep_history: bool = False,
     memory_cap: Optional[float] = None,
+    sim_cache: Optional[SimCache] = None,
 ) -> PlannerResult:
     """Run the AutoPipe Planner and return the best partition found.
 
@@ -244,6 +302,9 @@ def plan_partition(
     scheme with any stage above the cap can still guide the heuristic but
     can never be returned as the result.  Raises ``RuntimeError`` when no
     evaluated scheme fits the cap.
+    ``sim_cache`` shares simulator results across planning calls (sweeps);
+    it changes neither the returned partition nor the reported
+    ``evaluations`` — only how many simulations actually run.
     """
     t0 = _time.perf_counter()
     space = _UnitSpace(profile, granularity)
@@ -272,9 +333,15 @@ def plan_partition(
     def evaluate(sizes: Sizes) -> SimResult:
         sim = cache.get(sizes)
         if sim is None:
-            sim = PipelineSim(
-                space.stage_times(sizes), num_micro_batches, comm_mode=comm_mode
-            ).run()
+            if sim_cache is not None:
+                sim = sim_cache.simulate(
+                    space.stage_times(sizes), num_micro_batches, comm_mode
+                )
+            else:
+                sim = PipelineSim(
+                    space.stage_times(sizes), num_micro_batches,
+                    comm_mode=comm_mode,
+                ).run()
             cache[sizes] = sim
             if keep_history:
                 history.append((sizes, sim.iteration_time))

@@ -18,11 +18,12 @@ and 4 stages for GPT-2 1.3B at mbs 16 (Table IV).
 from __future__ import annotations
 
 import time as _time
+from typing import Optional
 
 from repro.baselines.common import PlannedConfig, config_memory
 from repro.core.balance_dp import balanced_partition
 from repro.core.partition import PartitionScheme
-from repro.core.planner import plan_partition
+from repro.core.planner import SimCache, default_sim_cache, plan_partition
 from repro.profiling.modelconfig import ModelProfile
 
 
@@ -94,8 +95,17 @@ def autopipe_config(
     global_batch_size: int,
     *,
     granularity: str = "sublayer",
+    sim_cache: Optional[SimCache] = None,
 ) -> PlannedConfig:
-    """Choose (dp, pp) and the balanced partition for a whole cluster."""
+    """Choose (dp, pp) and the balanced partition for a whole cluster.
+
+    ``sim_cache`` defaults to the process-wide memo shared by all sweep
+    entry points (the Table III/IV sweeps re-evaluate many identical
+    candidate stage times across cells); pass an explicit cache to
+    isolate a run.
+    """
+    if sim_cache is None:
+        sim_cache = default_sim_cache()
     t0 = _time.perf_counter()
     mbs = profile.train.micro_batch_size
     if global_batch_size % mbs != 0:
@@ -130,6 +140,7 @@ def autopipe_config(
                 planned = plan_partition(
                     profile, pp, m, granularity=granularity,
                     memory_cap=profile.hardware.gpu_memory,
+                    sim_cache=sim_cache,
                 )
                 partition = planned.partition
                 predicted = planned.iteration_time

@@ -15,6 +15,7 @@ moves load off the last stage toward earlier stages.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence
 
 from repro.config import ModelConfig
@@ -29,6 +30,21 @@ from repro.models.zoo import GPT2_345M
 METHODS = ("megatron", "interleaved", "slicer", "autopipe")
 MICRO_BATCH_SIZES = (4, 8, 16, 24, 32)
 STAGE_COUNTS = (2, 4, 8, 12)
+
+
+def _startup_cell(r: MethodResult) -> str:
+    """Table text for one startup measurement.
+
+    A method can run yet leave the last stage without any forward pass
+    (degenerate schedules report ``float("inf")`` startup); render those
+    as "X" like the other structurally-impossible cells instead of
+    printing "inf" milliseconds.
+    """
+    if not r.ok:
+        return r.status
+    if math.isinf(r.startup_seconds):
+        return "X"
+    return f"{r.startup_seconds * 1e3:.1f}"
 
 
 def run_point(
@@ -53,8 +69,7 @@ def run_a(
         point = run_point(GPT2_345M, mbs, 4, 8)
         row: List[object] = [mbs]
         for method in METHODS:
-            r = point[method]
-            row.append(f"{r.startup_seconds * 1e3:.1f}" if r.ok else r.status)
+            row.append(_startup_cell(point[method]))
         result.rows.append(row)
     return result
 
@@ -69,8 +84,7 @@ def run_b(stage_counts: Sequence[int] = STAGE_COUNTS) -> ExperimentResult:
         point = run_point(GPT2_345M, 4, stages, 2 * stages)
         row: List[object] = [stages]
         for method in METHODS:
-            r = point[method]
-            row.append(f"{r.startup_seconds * 1e3:.1f}" if r.ok else r.status)
+            row.append(_startup_cell(point[method]))
         result.rows.append(row)
     return result
 

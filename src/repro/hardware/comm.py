@@ -13,7 +13,8 @@ slowest link, which is what data-parallel gradient synchronisation charges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from repro.config import HardwareConfig
 from repro.hardware.cluster import Cluster, DeviceId
@@ -24,6 +25,14 @@ class CommModel:
     """All communication times derived from a :class:`HardwareConfig`."""
 
     hw: HardwareConfig
+    #: memoized per-(src, dst) link parameters: (cluster, latency, bandwidth).
+    #: The DES resolves the same few device pairs millions of times per run,
+    #: so the topology lookup (node membership + effective bandwidth) is
+    #: cached; the stored cluster reference guards against a CommModel being
+    #: reused across clusters with different topologies.
+    _pair_cache: Dict[Tuple[DeviceId, DeviceId], Tuple[Cluster, float, float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def p2p_time(self, num_bytes: float, *, inter_node: bool = True) -> float:
         """One point-to-point activation/gradient transfer, seconds."""
@@ -38,9 +47,18 @@ class CommModel:
     def p2p_time_between(
         self, cluster: Cluster, src: DeviceId, dst: DeviceId, num_bytes: float
     ) -> float:
-        return self.p2p_time(
-            num_bytes, inter_node=not cluster.same_node(src, dst)
-        )
+        entry = self._pair_cache.get((src, dst))
+        if entry is None or entry[0] is not cluster:
+            bandwidth = self.hw.effective_bandwidth(
+                inter_node=not cluster.same_node(src, dst)
+            )
+            entry = (cluster, self.hw.link_latency, bandwidth)
+            self._pair_cache[(src, dst)] = entry
+        if num_bytes < 0:
+            raise ValueError("negative transfer size")
+        if num_bytes == 0:
+            return 0.0
+        return entry[1] + num_bytes / entry[2]
 
     def allreduce_time(
         self, num_bytes: float, num_ranks: int, *, inter_node: bool = True

@@ -9,6 +9,8 @@ import numpy as np
 
 def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
     """How much faster the candidate is (>1 means faster)."""
+    if baseline_seconds <= 0:
+        raise ValueError("baseline time must be positive")
     if candidate_seconds <= 0:
         raise ValueError("candidate time must be positive")
     return baseline_seconds / candidate_seconds
@@ -25,8 +27,14 @@ def balance_improvement(
     baseline_stage_seconds: Sequence[float],
     candidate_stage_seconds: Sequence[float],
 ) -> float:
-    """Ratio of balance std-devs (>1: candidate is more balanced)."""
+    """Ratio of balance std-devs (>1: candidate is more balanced).
+
+    When *both* schemes are perfectly balanced the improvement is neutral
+    (1.0), not infinite — ``inf`` is reserved for a candidate that reaches
+    perfect balance from an imbalanced baseline.
+    """
     denom = balance_std(candidate_stage_seconds)
     if denom == 0:
-        return float("inf")
+        numer = balance_std(baseline_stage_seconds)
+        return 1.0 if numer == 0 else float("inf")
     return balance_std(baseline_stage_seconds) / denom

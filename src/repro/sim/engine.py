@@ -16,20 +16,47 @@ Executes a :class:`repro.schedules.base.Schedule` over a
 * **memory accounting** — activation stashes are allocated at FP start and
   released at BP end; the per-device peak is checked against GPU capacity.
 
-The engine never busy-waits: it repeatedly sweeps devices, advancing each
-as far as possible; a sweep with no progress and unfinished programs is a
-deadlock and raises :class:`DeadlockError` with a per-device diagnosis.
+The engine is **event-driven**: a ready queue holds the devices that may
+make progress, and a popped device runs its program until it parks on an
+explicit wait condition — an unmatched rendezvous key or a missing eager
+deposit tag.  A parked device is re-enqueued only when the matching
+post/deposit lands, so one run costs ``O(total ops)`` work instead of the
+quadratic all-device sweep a polling loop would pay.  An empty queue with
+unfinished programs is a deadlock and raises :class:`DeadlockError` with a
+per-device diagnosis.
+
+Two further optimisations keep the per-op constant small without changing
+any observable result:
+
+* **program compilation** — at construction the engine lowers each op into
+  a flat instruction tuple with the label string, rendezvous key and link
+  times precomputed; the compiled form is cached on the schedule object
+  (keyed by device map, guarded by cluster identity), so repeated
+  executions of one schedule skip both the lowering pass and the comm
+  symmetry validation;
+* **lazy timeline materialisation** — the hot loop appends plain tuples and
+  :class:`ExecutionResult` only builds :class:`TimelineEvent` objects the
+  first time ``.events`` is read, so callers that consume only
+  ``iteration_time``/``peak_memory`` (the planner's inner loop) never pay
+  for event construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.hardware.cluster import Cluster
 from repro.hardware.comm import CommModel
 from repro.schedules.base import CommOp, ComputeOp, Schedule
 from repro.sim.timeline import TimelineEvent, busy_time, first_compute_start
+
+#: compiled instruction opcodes (element 0 of every instruction tuple;
+#: element 1 is always the display label).
+_COMPUTE = 0
+_RENDEZVOUS = 1
+_EAGER = 2
 
 
 class DeadlockError(RuntimeError):
@@ -42,10 +69,22 @@ class ExecutionResult:
 
     schedule_name: str
     iteration_time: float
-    events: List[TimelineEvent]
     peak_memory: List[float]
     oom_devices: List[int]
     num_devices: int
+    #: raw event tuples ``(device, category, label, start, end, phase)``;
+    #: use :attr:`events` for the materialised TimelineEvent view.
+    raw_events: List[tuple] = field(default_factory=list, repr=False)
+    _materialized: Optional[List[TimelineEvent]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def events(self) -> List[TimelineEvent]:
+        """The timeline as TimelineEvent objects (built on first access)."""
+        if self._materialized is None:
+            self._materialized = [TimelineEvent(*e) for e in self.raw_events]
+        return self._materialized
 
     @property
     def oom(self) -> bool:
@@ -60,7 +99,11 @@ class ExecutionResult:
         return 1.0 - self.busy_time(device) / self.iteration_time
 
     def first_forward_start(self, device: int) -> float:
-        """When ``device`` first begins forward compute (startup metric)."""
+        """When ``device`` first begins forward compute (startup metric).
+
+        ``float("inf")`` when the device never ran a forward pass (failed
+        or degenerate schedules) — see :func:`repro.sim.timeline.first_compute_start`.
+        """
         return first_compute_start(self.events, device, "F")
 
 
@@ -72,6 +115,8 @@ class _DeviceState:
     peak_bytes: float = 0.0
     #: set when the device is parked on an unmatched rendezvous op.
     waiting_key: Optional[Tuple] = None
+    #: set when the device is parked on a missing eager deposit.
+    waiting_tag: Optional[str] = None
 
 
 class Engine:
@@ -96,15 +141,22 @@ class Engine:
         for d in device_map:
             cluster._check(d)
         self.device_map = device_map
-        if check_symmetry:
+        if check_symmetry and not schedule.__dict__.get("_symmetry_checked"):
             schedule.validate_comm_symmetry()
+            schedule.__dict__["_symmetry_checked"] = True
+        self._programs = self._compiled_programs()
 
         self._states = [_DeviceState() for _ in range(n)]
-        self._events: List[TimelineEvent] = []
+        self._raw_events: List[tuple] = []
         #: rendezvous posts: (pair, tag_set) -> (device, ready_time)
         self._posts: Dict[Tuple, Tuple[int, float]] = {}
         #: eager deposits: tag -> arrival time
         self._deposits: Dict[str, float] = {}
+        #: eager receivers parked on a missing deposit: tag -> devices
+        self._tag_waiters: Dict[str, List[int]] = {}
+        #: ready-queue scheduler state
+        self._ready: Deque[int] = deque()
+        self._enqueued: List[bool] = [False] * n
 
     # -- comm timing -------------------------------------------------------
 
@@ -124,17 +176,72 @@ class Engine:
             self._direction_time(op.peer, op.device, bwd),
         )
 
+    # -- program compilation ----------------------------------------------
+
+    def _compiled_programs(self) -> List[List[tuple]]:
+        """Lower every op to an instruction tuple, cached on the schedule.
+
+        The cache key is the device map; the cluster is compared by
+        identity (a different cluster object means different link times,
+        so the programs are lowered again).
+        """
+        cache = self.schedule.__dict__.setdefault("_compiled_cache", {})
+        key = tuple(self.device_map)
+        entry = cache.get(key)
+        if entry is not None and entry[0] is self.cluster:
+            return entry[1]
+        compiled = [
+            [self._compile_op(dev, op) for op in program]
+            for dev, program in enumerate(self.schedule.programs)
+        ]
+        cache[key] = (self.cluster, compiled)
+        return compiled
+
+    def _compile_op(self, dev: int, op: object) -> tuple:
+        if isinstance(op, ComputeOp):
+            return (
+                _COMPUTE, op.label(), op.duration, op.alloc_bytes,
+                op.free_bytes, op.workspace_bytes, op.kind, op.phase,
+            )
+        if not isinstance(op, CommOp):
+            raise TypeError(f"unsupported op in device program: {op!r}")
+        label = op.label()
+        if op.rendezvous:
+            pair = (min(dev, op.peer), max(dev, op.peer))
+            return (
+                _RENDEZVOUS, label, (pair, op.tag_set), op.peer,
+                self._exchange_time(op),
+            )
+        recvs = tuple(
+            (t.tag, self._direction_time(t.src, t.dst, t.bytes))
+            for t in op.receives()
+        )
+        sends = tuple(
+            (t.tag, self._direction_time(t.src, t.dst, t.bytes))
+            for t in op.sends()
+        )
+        latency = self.cluster.hw.link_latency if sends else 0.0
+        return (_EAGER, label, recvs, sends, "wait" + label[4:], latency)
+
     # -- execution ---------------------------------------------------------
 
     def run(self) -> ExecutionResult:
         n = self.schedule.num_devices
-        programs = self.schedule.programs
-        progress = True
-        while progress:
-            progress = False
-            for dev in range(n):
-                while self._advance(dev):
-                    progress = True
+        ready = self._ready
+        enqueued = self._enqueued
+        for dev in range(n):
+            ready.append(dev)
+            enqueued[dev] = True
+        while ready:
+            dev = ready.popleft()
+            enqueued[dev] = False
+            while self._advance(dev):
+                pass
+        return self._finish()
+
+    def _finish(self) -> ExecutionResult:
+        n = self.schedule.num_devices
+        programs = self._programs
         finished = all(
             self._states[d].pc == len(programs[d]) for d in range(n)
         )
@@ -142,7 +249,7 @@ class Engine:
             raise DeadlockError(self._diagnose())
 
         iteration_time = max(
-            (e.end for e in self._events), default=0.0
+            (e[4] for e in self._raw_events), default=0.0
         )
         peaks = [
             self.schedule.static_bytes[d] + self._states[d].peak_bytes
@@ -153,108 +260,137 @@ class Engine:
         return ExecutionResult(
             schedule_name=self.schedule.name,
             iteration_time=iteration_time,
-            events=self._events,
             peak_memory=peaks,
             oom_devices=ooms,
             num_devices=n,
+            raw_events=self._raw_events,
         )
+
+    def _wake(self, dev: int) -> None:
+        """Re-enqueue a device whose wait condition was just satisfied."""
+        if not self._enqueued[dev]:
+            self._enqueued[dev] = True
+            self._ready.append(dev)
 
     def _advance(self, dev: int) -> bool:
         """Try to execute the next op of ``dev``; True if it ran."""
-        program = self.schedule.programs[dev]
+        program = self._programs[dev]
         state = self._states[dev]
-        if state.pc >= len(program) or state.waiting_key is not None:
+        pc = state.pc
+        if pc >= len(program) or state.waiting_key is not None:
             return False
-        op = program[state.pc]
-        if isinstance(op, ComputeOp):
-            self._run_compute(dev, op)
+        instr = program[pc]
+        code = instr[0]
+
+        if code == _COMPUTE:
+            _, label, duration, alloc, free, workspace, kind, phase = instr
+            start = state.clock
+            end = start + duration
+            held = state.held_bytes + alloc
+            if held + workspace > state.peak_bytes:
+                state.peak_bytes = held + workspace
+            state.held_bytes = held - free
+            state.clock = end
+            state.pc = pc + 1
+            self._raw_events.append((dev, kind, label, start, end, phase))
             return True
-        assert isinstance(op, CommOp)
-        if op.rendezvous:
-            return self._run_rendezvous(dev, op)
-        return self._run_eager(dev, op)
 
-    def _run_compute(self, dev: int, op: ComputeOp) -> None:
-        state = self._states[dev]
+        if code == _RENDEZVOUS:
+            _, label, key, _peer, exch = instr
+            posted = self._posts.get(key)
+            if posted is None or posted[0] == dev:
+                if posted is None:
+                    self._posts[key] = (dev, state.clock)
+                    state.waiting_key = key
+                return False
+            peer, peer_ready = posted
+            del self._posts[key]
+            peer_state = self._states[peer]
+            start = max(state.clock, peer_ready)
+            end = start + exch
+            state.clock = end
+            state.pc = pc + 1
+            state.waiting_key = None
+            peer_state.clock = end
+            peer_state.pc += 1
+            peer_state.waiting_key = None
+            events = self._raw_events
+            events.append((dev, "comm", label, start, end, ""))
+            events.append((peer, "comm", label, start, end, ""))
+            # The first-arriving endpoint was parked on the post; it can
+            # run again.
+            self._wake(peer)
+            return True
+
+        # code == _EAGER
+        _, label, recvs, sends, wait_label, latency = instr
+        deposits = self._deposits
         start = state.clock
-        end = start + op.duration
-        state.held_bytes += op.alloc_bytes
-        state.peak_bytes = max(
-            state.peak_bytes, state.held_bytes + op.workspace_bytes
-        )
-        state.held_bytes -= op.free_bytes
-        state.clock = end
-        state.pc += 1
-        self._events.append(
-            TimelineEvent(dev, op.kind, op.label(), start, end, op.phase)
-        )
-
-    def _run_rendezvous(self, dev: int, op: CommOp) -> bool:
-        pair = (min(dev, op.peer), max(dev, op.peer))
-        key = (pair, op.tag_set)
-        state = self._states[dev]
-        posted = self._posts.get(key)
-        if posted is None or posted[0] == dev:
-            if posted is None:
-                self._posts[key] = (dev, state.clock)
-                state.waiting_key = key
-            return False
-        peer, peer_ready = posted
-        del self._posts[key]
-        peer_state = self._states[peer]
-        start = max(state.clock, peer_ready)
-        end = start + self._exchange_time(op)
-        for d, s in ((dev, state), (peer, peer_state)):
-            s.clock = end
-            s.pc += 1
-            s.waiting_key = None
-        self._events.append(
-            TimelineEvent(dev, "comm", op.label(), start, end)
-        )
-        self._events.append(
-            TimelineEvent(peer, "comm", op.label(), start, end)
-        )
-        return True
-
-    def _run_eager(self, dev: int, op: CommOp) -> bool:
-        state = self._states[dev]
-        receives = op.receives()
-        arrivals = []
-        for t in receives:
-            arrival = self._deposits.get(t.tag)
-            if arrival is None:
-                return False  # payload not sent yet; stay parked (no post)
-            arrivals.append(arrival)
-        start = state.clock
-        for t in receives:
-            del self._deposits[t.tag]
-        clock = max([state.clock, *arrivals]) if arrivals else state.clock
-        for t in op.sends():
-            self._deposits[t.tag] = clock + self._direction_time(
-                dev, op.peer, t.bytes
-            )
-        if op.sends():
+        clock = start
+        comm_begin = start
+        if recvs:
+            arrivals = []
+            for tag, _dur in recvs:
+                arrival = deposits.get(tag)
+                if arrival is None:
+                    # Payload not sent yet: park until this tag is deposited.
+                    state.waiting_tag = tag
+                    self._tag_waiters.setdefault(tag, []).append(dev)
+                    return False
+                arrivals.append(arrival)
+            state.waiting_tag = None
+            for tag, _dur in recvs:
+                del deposits[tag]
+            clock = max(start, *arrivals)
+            # The receiver is stalled until the payload lands, but the wire
+            # is only busy for the transfer itself: record the blocked
+            # window as an explicit idle span and the comm span from the
+            # transfer's true start.
+            if clock > start:
+                comm_begin = max(
+                    start,
+                    min(
+                        arrival - dur
+                        for (_tag, dur), arrival in zip(recvs, arrivals)
+                    ),
+                )
+                if comm_begin > start:
+                    self._raw_events.append(
+                        (dev, "idle", wait_label, start, comm_begin, "")
+                    )
+        if sends:
+            tag_waiters = self._tag_waiters
+            for tag, dur in sends:
+                deposits[tag] = clock + dur
+                waiters = tag_waiters.pop(tag, None)
+                if waiters:
+                    for waiter in waiters:
+                        self._wake(waiter)
             # Posting an eager send costs one launch latency on the sender.
-            clock += self.cluster.hw.link_latency
+            clock += latency
         state.clock = clock
-        state.pc += 1
-        self._events.append(
-            TimelineEvent(dev, "comm", op.label(), start, clock)
-        )
+        state.pc = pc + 1
+        self._raw_events.append((dev, "comm", label, comm_begin, clock, ""))
         return True
 
     def _diagnose(self) -> str:
         lines = ["pipeline deadlock; per-device state:"]
         for dev, state in enumerate(self._states):
-            program = self.schedule.programs[dev]
+            program = self._programs[dev]
             if state.pc >= len(program):
                 lines.append(f"  dev{dev}: finished")
                 continue
-            op = program[state.pc]
-            label = op.label() if hasattr(op, "label") else repr(op)
+            label = program[state.pc][1]
+            if state.waiting_key is not None:
+                pair, tags = state.waiting_key
+                wait = f", parked on rendezvous {sorted(tags)} with dev pair {pair}"
+            elif state.waiting_tag is not None:
+                wait = f", parked on missing deposit {state.waiting_tag!r}"
+            else:
+                wait = ""
             lines.append(
                 f"  dev{dev}: blocked at op {state.pc}/{len(program)} "
-                f"{label} (clock={state.clock:.6f})"
+                f"{label} (clock={state.clock:.6f}){wait}"
             )
         return "\n".join(lines)
 

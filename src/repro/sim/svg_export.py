@@ -12,7 +12,7 @@ from typing import IO, Iterable, List, Union
 
 from repro.sim.timeline import TimelineEvent
 
-_FILL = {"F": "#4c9f70", "B": "#4a7fb5", "comm": "#d9a441"}
+_FILL = {"F": "#4c9f70", "B": "#4a7fb5", "comm": "#d9a441", "idle": "#d8d8d4"}
 
 _LANE_HEIGHT = 26
 _LANE_GAP = 6
@@ -71,8 +71,9 @@ def timeline_to_svg(
         x0, x1 = x(e.start), x(e.end)
         w = max(x1 - x0, 0.5)
         fill = _FILL.get(e.category, "#999999")
-        h = _LANE_HEIGHT if e.category != "comm" else _LANE_HEIGHT * 0.45
-        y0 = y if e.category != "comm" else y + _LANE_HEIGHT * 0.55
+        thin = e.category in ("comm", "idle")
+        h = _LANE_HEIGHT if not thin else _LANE_HEIGHT * 0.45
+        y0 = y if not thin else y + _LANE_HEIGHT * 0.55
         parts.append(
             f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{w:.2f}" '
             f'height="{h:.2f}" fill="{fill}" stroke="#ffffff" '

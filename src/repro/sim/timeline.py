@@ -11,7 +11,7 @@ class TimelineEvent:
     """One executed operation on one device."""
 
     device: int
-    category: str          # "F", "B" or "comm"
+    category: str          # "F", "B", "comm" or "idle"
     label: str
     start: float
     end: float
@@ -44,18 +44,29 @@ def busy_time(events: Iterable[TimelineEvent], device: int) -> float:
 def first_compute_start(
     events: Iterable[TimelineEvent], device: int, category: str = "F"
 ) -> float:
+    """Earliest start of a ``category`` event, or ``inf`` when none exist.
+
+    Failed or degenerate schedules can leave a device with no forward
+    events at all; returning ``float("inf")`` lets metric code report the
+    configuration as infeasible instead of crashing.
+    """
     starts = [e.start for e in device_events(events, device, category)]
     if not starts:
-        raise ValueError(f"device {device} has no {category} events")
+        return float("inf")
     return min(starts)
 
 
 def idle_windows(
     events: Iterable[TimelineEvent], device: int, horizon: float
 ) -> List[Tuple[float, float]]:
-    """Gaps in which the device does neither compute nor communication."""
+    """Gaps in which the device does neither compute nor communication.
+
+    Explicit ``idle`` events (the engine's record of a receiver blocked on
+    a payload that has not arrived) count as idle time, not occupancy.
+    """
     spans = sorted(
         (e.start, e.end) for e in device_events(events, device)
+        if e.category != "idle"
     )
     gaps: List[Tuple[float, float]] = []
     cursor = 0.0
@@ -85,6 +96,8 @@ def render_ascii(
     for dev in range(num_devices):
         row = [" "] * width
         for e in device_events(evs, dev):
+            if e.category == "idle":
+                continue
             a = int(e.start / horizon * (width - 1))
             b = max(a + 1, int(e.end / horizon * (width - 1)))
             ch = {"F": "F", "B": "B"}.get(e.category, ".")

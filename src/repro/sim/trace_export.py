@@ -21,6 +21,7 @@ _COLOURS = {
     "F": "thread_state_running",     # green-ish
     "B": "thread_state_runnable",    # blue-ish
     "comm": "thread_state_iowait",   # orange-ish
+    "idle": "thread_state_sleeping", # grey — a stage stalled on a payload
 }
 
 

@@ -1,0 +1,174 @@
+"""Vectorized PipelineSim vs the straightforward dict-based reference.
+
+The production simulator caches the DAG topology per (n, m) shape, runs
+the recurrences over flat index arrays and backtracks tight predecessors
+lazily.  This file keeps the original dict-based evaluation of the same
+recurrences as an executable specification and checks the two agree
+**bit for bit** — start/end times, iteration time, startup, critical path
+(including the Fig. 4 tie-breaks) and master stage.  Discrete duration
+values are drawn so exact ties are common, which is precisely where the
+tie-break rules matter.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytic_sim import STEADY, PipelineSim
+from repro.core.partition import StageTimes
+
+
+def reference_run(times, m, comm_mode):
+    """The original dict-based evaluation (kept verbatim as the spec)."""
+    sim = PipelineSim(times, m, comm_mode=comm_mode)
+    n, comm = sim.n, times.comm
+    phase, intra_pred = {}, {}
+    for x in range(n):
+        prev = None
+        for op, ph in sim.stage_order(x):
+            phase[op] = ph
+            intra_pred[op] = prev
+            prev = op
+
+    preds, succs, indeg = {}, {op: [] for op in phase}, {}
+    for op in phase:
+        p = list(sim._dependencies(op))
+        ip = intra_pred[op]
+        if ip is not None:
+            p.append(ip)
+        preds[op] = p
+        indeg[op] = len(p)
+        for q in p:
+            succs[q].append(op)
+
+    start, end, tight_pred = {}, {}, {}
+    ready = deque(op for op, d in indeg.items() if d == 0)
+    while ready:
+        op = ready.popleft()
+        cross = sim._dependencies(op)
+        if comm_mode == "paper":
+            base = 0.0
+            for q in preds[op]:
+                base = max(base, end[q])
+            s = base + comm if sim._comm_applies(op) else base
+            tol = 1e-12 + 1e-9 * max(base, 1.0)
+            tight = [q for q in preds[op] if end[q] >= base - tol]
+        else:
+            s = 0.0
+            tight = []
+            for q in preds[op]:
+                arrival = end[q] + (comm if q in cross else 0.0)
+                if arrival > s:
+                    s = arrival
+            for q in preds[op]:
+                arrival = end[q] + (comm if q in cross else 0.0)
+                if arrival >= s - (1e-12 + 1e-9 * max(s, 1.0)):
+                    tight.append(q)
+        tight_pred[op] = (
+            max(tight, key=lambda q: (q[1], end[q])) if tight else None
+        )
+        start[op] = s
+        end[op] = s + sim._duration(op)
+        for nxt in succs[op]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+
+    last_op = max(end, key=lambda op: (end[op], op[1]))
+    path = []
+    cur = last_op
+    while cur is not None:
+        path.append(cur)
+        cur = tight_pred[cur]
+    path.reverse()
+
+    weight = [0.0] * n
+    for op in path:
+        if phase[op] == STEADY:
+            weight[op[1]] += sim._duration(op)
+    if max(weight) > 0.0:
+        best = max(weight)
+        master = max(x for x in range(n) if weight[x] >= best * (1 - 1e-9))
+    else:
+        total = times.total
+        best = max(total)
+        master = max(x for x in range(n) if total[x] >= best * (1 - 1e-9))
+
+    return {
+        "iteration_time": end[last_op],
+        "startup": start[("F", n - 1, 0)],
+        "master": master,
+        "path": tuple(path),
+        "start": start,
+        "end": end,
+        "phase": phase,
+    }
+
+
+def assert_bitwise_equal(times, m, comm_mode):
+    got = PipelineSim(times, m, comm_mode=comm_mode).run()
+    want = reference_run(times, m, comm_mode)
+    assert got.iteration_time == want["iteration_time"]
+    assert got.startup_overhead == want["startup"]
+    assert got.master_stage == want["master"]
+    assert got.critical_path == want["path"]
+    assert got.op_start == want["start"]
+    assert got.op_end == want["end"]
+    assert got.op_phase == want["phase"]
+
+
+#: Discrete values make exact end-time ties (the tie-break cases) common.
+_TIE_VALUES = (0.5, 1.0, 1.0, 2.0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=12),
+    st.sampled_from(["paper", "edges"]),
+    st.data(),
+)
+def test_matches_reference_with_ties(n, m, comm_mode, data):
+    fwd = tuple(data.draw(st.sampled_from(_TIE_VALUES)) for _ in range(n))
+    bwd = tuple(data.draw(st.sampled_from(_TIE_VALUES)) for _ in range(n))
+    comm = data.draw(st.sampled_from([0.0, 0.1]))
+    assert_bitwise_equal(StageTimes(fwd, bwd, comm), m, comm_mode)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=10),
+    st.sampled_from(["paper", "edges"]),
+    st.data(),
+)
+def test_matches_reference_with_random_floats(n, m, comm_mode, data):
+    fwd = tuple(
+        data.draw(st.floats(min_value=0.05, max_value=3.0)) for _ in range(n)
+    )
+    bwd = tuple(
+        data.draw(st.floats(min_value=0.05, max_value=3.0)) for _ in range(n)
+    )
+    comm = data.draw(st.floats(min_value=0.0, max_value=0.5))
+    assert_bitwise_equal(StageTimes(fwd, bwd, comm), m, comm_mode)
+
+
+@pytest.mark.parametrize("comm_mode", ["paper", "edges"])
+@pytest.mark.parametrize("n,m", [(1, 1), (1, 8), (4, 1), (4, 8), (6, 3), (5, 20)])
+def test_matches_reference_balanced(n, m, comm_mode):
+    """Perfectly balanced stages: every recurrence step is an exact tie."""
+    assert_bitwise_equal(
+        StageTimes((1.0,) * n, (2.0,) * n, 0.0), m, comm_mode
+    )
+    assert_bitwise_equal(
+        StageTimes((1.0,) * n, (2.0,) * n, 0.25), m, comm_mode
+    )
+
+
+def test_shape_cache_reuse():
+    """Two sims of one (n, m) shape share the cached topology."""
+    a = PipelineSim(StageTimes((1.0, 2.0), (2.0, 1.0), 0.1), 6)
+    b = PipelineSim(StageTimes((3.0, 1.0), (1.0, 3.0), 0.0), 6)
+    assert a._shape is b._shape
+    assert PipelineSim(StageTimes((1.0,), (1.0,), 0.0), 6)._shape is not a._shape

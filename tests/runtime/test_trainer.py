@@ -51,6 +51,12 @@ class TestMetrics:
         with pytest.raises(ValueError):
             speedup(1.0, 0.0)
 
+    def test_speedup_rejects_non_positive_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(-2.0, 1.0)
+
     def test_balance_std(self):
         assert balance_std([1.0, 1.0, 1.0]) == 0.0
         assert balance_std([1.0, 3.0]) == pytest.approx(1.0)
@@ -60,3 +66,8 @@ class TestMetrics:
     def test_balance_improvement(self):
         assert balance_improvement([1.0, 3.0], [1.9, 2.1]) == pytest.approx(10.0)
         assert balance_improvement([1.0, 3.0], [2.0, 2.0]) == float("inf")
+
+    def test_balance_improvement_both_perfect_is_neutral(self):
+        """0/0 means "already balanced, stayed balanced": ratio 1, not inf."""
+        assert balance_improvement([2.0, 2.0], [3.0, 3.0]) == 1.0
+        assert balance_improvement([5.0], [5.0]) == 1.0

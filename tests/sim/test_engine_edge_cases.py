@@ -80,6 +80,44 @@ def test_deadlock_reports_finished_devices():
     assert "dev1" in str(err.value)
 
 
+def test_eager_receive_splits_idle_wait_from_transfer():
+    """A blocked eager receiver records idle time + the true comm span.
+
+    The receiver reaches its receive at t=0 but the payload only lands
+    after the sender's 1.0s compute plus the wire time: the old engine
+    recorded one comm event covering the whole stall, masking the bubble.
+    The split must not move the receive's completion time.
+    """
+    from repro.hardware.comm import CommModel
+
+    payload = 64e6
+    sched = Schedule("t", [
+        [ComputeOp("F", (0, -1), 1.0),
+         CommOp(0, 1, (Transfer("x", 0, 1, payload),), rendezvous=False)],
+        [CommOp(1, 0, (Transfer("x", 0, 1, payload),), rendezvous=False),
+         ComputeOp("B", (0, -1), 1.0)],
+    ])
+    result = execute(sched, CLUSTER)
+    wire = CommModel(HW).p2p_time_between(CLUSTER, 0, 1, payload)
+
+    idle = [e for e in result.events if e.device == 1 and e.category == "idle"]
+    comm = [e for e in result.events if e.device == 1 and e.category == "comm"]
+    assert len(idle) == 1 and len(comm) == 1
+    # Blocked from arrival at the op until the transfer actually starts.
+    assert idle[0].start == pytest.approx(0.0)
+    assert idle[0].end == pytest.approx(1.0)
+    # The comm span covers only the wire time and ends at the arrival —
+    # the receive completes exactly when the unsplit event used to.
+    assert comm[0].start == pytest.approx(1.0)
+    assert comm[0].end == pytest.approx(1.0 + wire)
+    # Downstream compute starts at the arrival, so iteration is unchanged.
+    assert result.iteration_time == pytest.approx(2.0 + wire)
+
+    from repro.sim.timeline import idle_windows
+    gaps = idle_windows(result.events, 1, horizon=result.iteration_time)
+    assert gaps[0] == (0.0, idle[0].end)
+
+
 def test_events_sorted_within_device():
     sched = Schedule("t", [[
         ComputeOp("F", (0, -1), 1.0), ComputeOp("B", (0, -1), 2.0),

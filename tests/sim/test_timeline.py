@@ -40,8 +40,22 @@ def test_busy_time_excludes_comm():
 
 def test_first_compute_start():
     assert first_compute_start(EVENTS, 1, "F") == pytest.approx(1.2)
-    with pytest.raises(ValueError):
-        first_compute_start(EVENTS, 1, "B")
+
+
+def test_first_compute_start_no_events_is_infinite():
+    """Degenerate schedules report inf, not a crash (Fig. 14 metric)."""
+    assert first_compute_start(EVENTS, 1, "B") == float("inf")
+    assert first_compute_start([], 0, "F") == float("inf")
+
+
+def test_idle_windows_explicit_idle_events_count_as_idle():
+    """An engine-recorded blocked wait must not mask the stall."""
+    events = [
+        TimelineEvent(0, "F", "F(0)", 0.0, 1.0),
+        TimelineEvent(0, "idle", "wait[a]", 1.0, 2.5),
+        TimelineEvent(0, "comm", "comm[a]", 2.5, 3.0),
+    ]
+    assert idle_windows(events, 0, horizon=3.0) == [(1.0, 2.5)]
 
 
 def test_idle_windows():
