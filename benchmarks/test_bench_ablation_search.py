@@ -1,19 +1,52 @@
-"""Ablation bench: the master-stage heuristic vs Algorithm 1 alone, and
-the Eq. (1) Cooldown adjustment on/off.
+"""Ablation bench: the master-stage heuristic vs Algorithm 1 alone, the
+Eq. (1) Cooldown adjustment on/off, and the pruned exhaustive oracle vs
+the literal brute force.
 
-DESIGN.md calls out both design choices; this bench shows what each buys
-on the Fig. 9 configuration.
+DESIGN.md calls out the planner design choices; this bench shows what
+each buys on the Fig. 9 configuration.  The oracle rows additionally
+guard the branch-and-bound: at every depth >= 6 it must run at least 5x
+fewer full simulations than the enumeration while returning the exact
+brute-force optimum; measured wall clocks land in ``BENCH_search.json``.
 """
 
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
 from benchmarks.conftest import run_and_print
-from repro.config import TrainConfig
+from repro.config import ModelConfig, TrainConfig
 from repro.core.analytic_sim import simulate_partition
 from repro.core.balance_dp import balanced_partition
+from repro.core.exhaustive import exhaustive_partition
 from repro.core.planner import plan_partition
 from repro.experiments.common import ExperimentResult
 from repro.hardware.device import DEFAULT_CLUSTER_HW
 from repro.models.zoo import BERT_LARGE, GPT2_345M, GPT2_762M
 from repro.profiling import profile_model
+
+#: tests/conftest.py's TINY: 15 blocks — big enough for thousands of
+#: candidate partitions at depth >= 6, small enough to brute-force.
+TINY = ModelConfig(
+    name="tiny", num_layers=6, hidden_size=256, num_heads=4,
+    seq_length=128, vocab_size=8000,
+)
+
+_SEARCH_RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_search.json"
+
+
+def merge_into_search_results(section: str, payload: dict) -> None:
+    data = {}
+    if _SEARCH_RESULTS_PATH.exists():
+        try:
+            data = json.loads(_SEARCH_RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    _SEARCH_RESULTS_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def run_search_ablation(num_stages: int = 4, m: int = 8):
@@ -47,3 +80,61 @@ def test_bench_search_ablation(benchmark):
         assert float(row[4].rstrip("x")) >= 1.0
         # And it stays cheap: tens of scheme evaluations, not thousands.
         assert row[5] < 256
+
+
+def run_oracle_ablation(depths=(6, 7, 8), comm_modes=("paper", "edges")):
+    """Brute force vs branch-and-bound on the 15-block tiny model."""
+    result = ExperimentResult(
+        name="Ablation: exhaustive oracle, brute force vs branch-and-bound "
+             "(tiny model, m = 2 x depth)",
+        headers=["depth", "mode", "space", "brute (ms)", "pruned (ms)",
+                 "sims", "sim ratio", "speedup"],
+    )
+    for depth in depths:
+        m = 2 * depth
+        train = TrainConfig(micro_batch_size=4, global_batch_size=4 * m)
+        profile = profile_model(TINY, DEFAULT_CLUSTER_HW, train)
+        for mode in comm_modes:
+            t0 = time.perf_counter()
+            brute = exhaustive_partition(
+                profile, depth, m, comm_mode=mode, prune=False
+            )
+            brute_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            pruned = exhaustive_partition(
+                profile, depth, m, comm_mode=mode, prune=True
+            )
+            pruned_s = time.perf_counter() - t0
+            assert pruned.partition.sizes == brute.partition.sizes
+            assert pruned.iteration_time == brute.iteration_time
+            result.rows.append([
+                depth, mode, brute.space,
+                f"{brute_s * 1e3:.1f}", f"{pruned_s * 1e3:.1f}",
+                pruned.evaluations,
+                f"{brute.space / max(pruned.evaluations, 1):.1f}x",
+                f"{brute_s / max(pruned_s, 1e-9):.1f}x",
+            ])
+    return result
+
+
+def test_bench_oracle_pruning(benchmark):
+    result = run_and_print(benchmark, run_oracle_ablation)
+    for depth, mode, space, brute_ms, pruned_ms, sims, *_ in result.rows:
+        # Acceptance bar: >= 5x fewer full simulations than enumeration
+        # at every depth >= 6, in both comm modes.
+        assert sims * 5 <= space, (
+            f"depth {depth} ({mode}): {sims} sims of {space} candidates "
+            "— pruning fell below the 5x bar"
+        )
+    merge_into_search_results("oracle", {
+        "setting": "tiny model (15 blocks), m = 2 x depth, both comm modes",
+        "rows": [
+            {
+                "depth": depth, "comm_mode": mode, "space": space,
+                "brute_ms": float(brute_ms), "pruned_ms": float(pruned_ms),
+                "simulations": sims, "sim_ratio": ratio, "speedup": speedup,
+            }
+            for depth, mode, space, brute_ms, pruned_ms, sims, ratio, speedup
+            in result.rows
+        ],
+    })

@@ -12,6 +12,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import SweepRunner, set_default_runner
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -23,7 +24,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         help="experiment name (fig9..fig14, table2..table4), 'all' or 'list'",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep cells (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk sweep result cache (default: off)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.jobs != 1 or args.cache_dir is not None:
+        set_default_runner(
+            SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+        )
 
     if args.experiment == "list":
         for name in ALL_EXPERIMENTS:

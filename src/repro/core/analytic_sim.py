@@ -100,6 +100,7 @@ class _Shape:
     __slots__ = (
         "n", "m", "ops", "index", "intra", "cross", "order",
         "kahn_pos", "stage", "is_fwd", "phases", "startup_index",
+        "_levels",
     )
 
     def __init__(self, n: int, m: int) -> None:
@@ -165,6 +166,43 @@ class _Shape:
         self.is_fwd = np.asarray([op[0] == "F" for op in ops])
         self.phases = tuple(phases)
         self.startup_index = index[("F", n - 1, 0)]
+        self._levels: Optional[List[Tuple[np.ndarray, ...]]] = None
+
+    def levels(self) -> List[Tuple[np.ndarray, ...]]:
+        """Wavefront plan for batched evaluation, built lazily.
+
+        Ops are grouped by longest-path depth: every op in level ``d`` has
+        all predecessors in levels ``< d``, so one level is one fully
+        vectorisable step of the recurrence.  Each entry is
+        ``(ops, cross_safe, has_cross, intra_safe, has_intra)`` where the
+        ``*_safe`` index arrays clamp the missing-predecessor sentinel -1
+        to 0 (masked out by the ``has_*`` arrays).
+        """
+        if self._levels is not None:
+            return self._levels
+        size = len(self.ops)
+        depth = [0] * size
+        for i in self.order:
+            d = 0
+            for p in (self.cross[i], self.intra[i]):
+                if p >= 0 and depth[p] + 1 > d:
+                    d = depth[p] + 1
+            depth[i] = d
+        by_level: Dict[int, List[int]] = {}
+        for i in range(size):
+            by_level.setdefault(depth[i], []).append(i)
+        plan: List[Tuple[np.ndarray, ...]] = []
+        for d in sorted(by_level):
+            idx = np.asarray(by_level[d], dtype=np.int64)
+            cross = np.asarray([self.cross[i] for i in by_level[d]], dtype=np.int64)
+            intra = np.asarray([self.intra[i] for i in by_level[d]], dtype=np.int64)
+            plan.append((
+                idx,
+                np.maximum(cross, 0), cross >= 0,
+                np.maximum(intra, 0), intra >= 0,
+            ))
+        self._levels = plan
+        return plan
 
 
 #: LRU cache of DAG topologies keyed by (num_stages, num_micro_batches).
@@ -320,6 +358,18 @@ class PipelineSim:
                 start[i] = s
                 end[i] = s + dur[i]
 
+        return self._finalize(start, end, dur)
+
+    def _finalize(
+        self, start: List[float], end: List[float], dur: List[float]
+    ) -> SimResult:
+        """Winner selection, critical-path backtrack and master stage.
+
+        Shared by :meth:`run` and :meth:`PipelineSimBatch.result`: the
+        batch path computes the same start/end values vectorised and only
+        pays for this step on requested winners.
+        """
+        shape = self._shape
         start_arr = np.asarray(start)
         end_arr = np.asarray(end)
         # Latest op, ties broken toward the higher stage, then the earliest
@@ -402,6 +452,143 @@ class PipelineSim:
         total = self.times.total
         best = max(total)
         return max(x for x in range(self.n) if total[x] >= best * (1 - 1e-9))
+
+
+class PipelineSimBatch:
+    """Vectorised evaluation of many candidate stage-time vectors at once.
+
+    All candidates share the pipeline shape ``(num_stages, m)``, the scalar
+    ``comm`` and the comm mode — exactly the situation of a partition
+    search, where thousands of candidate partitions of one model aggregate
+    to different ``(fwd, bwd)`` stage vectors over the same dependency DAG.
+
+    The recurrences run level-by-level over the cached DAG wavefront
+    (:meth:`_Shape.levels`): each level is one numpy step over a ``(K,)``
+    column slice, so the Python-loop cost is the DAG *depth* instead of
+    ``K * size``.  The arithmetic per op is the same IEEE sequence as the
+    scalar :class:`PipelineSim` — ``max`` of predecessor ends, ``+ comm``,
+    ``+ dur`` — so iteration times and startup overheads are bit-for-bit
+    identical to ``K`` scalar runs
+    (tests/core/test_search_properties.py asserts this).
+
+    Critical-path backtracking and master-stage selection are *not*
+    vectorised; :meth:`result` materialises the full :class:`SimResult`
+    for one requested winner by handing the candidate's precomputed
+    start/end row to the scalar finaliser.
+    """
+
+    def __init__(
+        self,
+        fwd: "np.ndarray",
+        bwd: "np.ndarray",
+        comm: float,
+        num_micro_batches: int,
+        *,
+        comm_mode: str = "paper",
+    ) -> None:
+        fwd = np.ascontiguousarray(fwd, dtype=np.float64)
+        bwd = np.ascontiguousarray(bwd, dtype=np.float64)
+        if fwd.ndim != 2 or fwd.shape != bwd.shape:
+            raise ValueError(
+                f"need matching (K, num_stages) matrices, got {fwd.shape} "
+                f"and {bwd.shape}"
+            )
+        if fwd.shape[1] < 1:
+            raise ValueError("need at least one stage")
+        if fwd.min(initial=0.0) < 0 or bwd.min(initial=0.0) < 0 or comm < 0:
+            raise ValueError("times must be non-negative")
+        if num_micro_batches <= 0:
+            raise ValueError("need at least one micro-batch")
+        if comm_mode not in ("paper", "edges"):
+            raise ValueError(f"unknown comm_mode {comm_mode!r}")
+        self.fwd = fwd
+        self.bwd = bwd
+        self.comm = float(comm)
+        self.m = num_micro_batches
+        self.comm_mode = comm_mode
+        self.num_candidates, self.n = fwd.shape
+        self._shape = _shape(self.n, self.m)
+        self._start: Optional[np.ndarray] = None
+        self._end: Optional[np.ndarray] = None
+        self._dur: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_stage_times(
+        cls,
+        candidates: List[StageTimes],
+        num_micro_batches: int,
+        *,
+        comm_mode: str = "paper",
+    ) -> "PipelineSimBatch":
+        if not candidates:
+            raise ValueError("need at least one candidate")
+        comm = candidates[0].comm
+        if any(t.comm != comm for t in candidates):
+            raise ValueError("all candidates must share one comm time")
+        return cls(
+            np.asarray([t.fwd for t in candidates]),
+            np.asarray([t.bwd for t in candidates]),
+            comm,
+            num_micro_batches,
+            comm_mode=comm_mode,
+        )
+
+    def _evaluate(self) -> None:
+        if self._end is not None:
+            return
+        shape = self._shape
+        size = len(shape.ops)
+        comm = self.comm
+        # (K, size) per-op durations: fwd/bwd of the op's stage by op kind.
+        dur = np.where(
+            shape.is_fwd[None, :],
+            self.fwd[:, shape.stage],
+            self.bwd[:, shape.stage],
+        )
+        start = np.zeros((self.num_candidates, size))
+        end = np.zeros((self.num_candidates, size))
+        paper = self.comm_mode == "paper"
+        for idx, c_safe, has_c, q_safe, has_q in shape.levels():
+            ce = np.where(has_c[None, :], end[:, c_safe], 0.0)
+            qe = np.where(has_q[None, :], end[:, q_safe], 0.0)
+            if paper:
+                base = np.maximum(ce, qe)
+                s = np.where(has_c[None, :], base + comm, base)
+            else:
+                s = np.maximum(
+                    np.where(has_c[None, :], ce + comm, 0.0), qe
+                )
+            start[:, idx] = s
+            end[:, idx] = s + dur[:, idx]
+        self._start = start
+        self._end = end
+        self._dur = dur
+
+    def iteration_times(self) -> "np.ndarray":
+        """Per-candidate iteration time, shape ``(K,)``."""
+        self._evaluate()
+        return self._end.max(axis=1)
+
+    def startup_overheads(self) -> "np.ndarray":
+        """Per-candidate startup overhead (first FP start on the last stage)."""
+        self._evaluate()
+        return self._start[:, self._shape.startup_index].copy()
+
+    def result(self, k: int) -> SimResult:
+        """Full :class:`SimResult` for candidate ``k`` (winner backtrack).
+
+        Reuses the batched start/end row, so only the critical-path walk
+        and master-stage selection run scalar — bit-identical to
+        ``PipelineSim(times_k, m).run()``.
+        """
+        self._evaluate()
+        times = StageTimes(
+            tuple(self.fwd[k].tolist()), tuple(self.bwd[k].tolist()), self.comm
+        )
+        sim = PipelineSim(times, self.m, comm_mode=self.comm_mode)
+        return sim._finalize(
+            self._start[k].tolist(), self._end[k].tolist(), self._dur[k].tolist()
+        )
 
 
 def simulate_partition(

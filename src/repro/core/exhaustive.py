@@ -1,12 +1,35 @@
 """Exhaustive pipeline-partition search (verification oracle).
 
-Enumerates *every* contiguous partition of the block sequence into ``p``
-stages and simulates each one — O(C(n-1, p-1)) simulator calls, so only
-usable for small models or shallow pipelines.  Its purpose is to quantify
-how close the heuristic Planner gets to the true optimum (the paper argues
-the heuristic trades a bounded amount of quality for an order-of-magnitude
-search-time reduction; `benchmarks/test_bench_ablation_search.py` and
-`tests/core/test_exhaustive.py` measure exactly that).
+The oracle finds the *true* optimal contiguous partition of the block
+sequence into ``p`` stages, to quantify how close the heuristic Planner
+gets (the paper argues the heuristic trades a bounded amount of quality
+for an order-of-magnitude search-time reduction;
+``benchmarks/test_bench_ablation_search.py`` and
+``tests/core/test_exhaustive.py`` measure exactly that).
+
+Two search modes share one argmin semantics (first partition in the
+lexicographic cut order achieving the minimum iteration time):
+
+* ``prune=False`` — the literal brute force: every one of the
+  ``C(n-1, p-1)`` candidates is simulated by the scalar
+  :class:`~repro.core.analytic_sim.PipelineSim`.  This is the
+  bit-exactness reference.
+* ``prune=True`` (default) — branch-and-bound over cut positions.  A DFS
+  assigns stage sizes left to right; each partial assignment is bounded
+  below using prefix sums (see :func:`docs/search.md <search>` and the
+  bound derivation in ``_search_pruned``) and subtrees whose bound
+  exceeds the incumbent are discarded without simulation.  Surviving
+  leaves are buffered and evaluated in chunks by the vectorised
+  :class:`~repro.core.analytic_sim.PipelineSimBatch`; candidate stage
+  times use the same left-to-right slice summation as the brute force,
+  and the batch recurrences are bit-identical to scalar runs, so the
+  returned partition and iteration time match the brute force exactly
+  (property-tested in ``tests/core/test_search_properties.py``).
+
+A shared :class:`~repro.core.planner.SimCache` can be threaded through:
+stage-time vectors the planner already simulated in the same process are
+harvested from the cache instead of re-simulated, and the hit count is
+reported on the result.
 """
 
 from __future__ import annotations
@@ -14,11 +37,24 @@ from __future__ import annotations
 import itertools
 import time as _time
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.analytic_sim import PipelineSim, SimResult
+import numpy as np
+
+from repro.core.analytic_sim import PipelineSim, PipelineSimBatch, SimResult
+from repro.core.balance_dp import min_max_partition
 from repro.core.partition import PartitionScheme, StageTimes
+from repro.core.planner import SimCache
 from repro.profiling.modelconfig import ModelProfile
+
+#: relative slack on the pruning test: a subtree is discarded only when
+#: its lower bound exceeds the incumbent by more than this factor, so
+#: float rounding in the prefix-sum bounds (~1e-14 relative) can never
+#: prune the true optimum or a tie the brute force would have kept.
+_PRUNE_SLACK = 1.0 + 1e-9
+
+#: candidates buffered between vectorised evaluation passes.
+_DEFAULT_CHUNK = 1024
 
 
 @dataclass(frozen=True)
@@ -27,12 +63,22 @@ class ExhaustiveResult:
 
     partition: PartitionScheme
     sim: SimResult
+    #: full simulations actually run (batched or scalar).
     evaluations: int
     search_seconds: float
+    #: size of the search space, C(n-1, p-1).
+    space: int
+    #: candidates served from the shared :class:`SimCache`.
+    cache_hits: int = 0
 
     @property
     def iteration_time(self) -> float:
         return self.sim.iteration_time
+
+    @property
+    def pruned(self) -> int:
+        """Candidates eliminated by bounds without any simulation."""
+        return self.space - self.evaluations - self.cache_hits
 
 
 def iter_partitions(num_blocks: int, num_stages: int) -> Iterator[Tuple[int, ...]]:
@@ -57,6 +103,268 @@ def count_partitions(num_blocks: int, num_stages: int) -> int:
     return comb(num_blocks - 1, num_stages - 1)
 
 
+class _SearchState:
+    """Incumbent tracking with brute-force-identical argmin semantics.
+
+    The brute force keeps the lexicographically-first candidate achieving
+    the minimum (strict ``<`` update in enumeration order).  The pruned
+    search may evaluate a warm-start candidate out of order, so the
+    update rule here breaks time ties toward the lexicographically
+    smaller ``sizes`` tuple — equivalent to the brute force's rule for
+    any evaluation order that covers the same candidates.
+    """
+
+    __slots__ = ("best_time", "best_sizes", "evaluations", "cache_hits")
+
+    def __init__(self) -> None:
+        self.best_time = float("inf")
+        self.best_sizes: Optional[Tuple[int, ...]] = None
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    def offer(self, sizes: Tuple[int, ...], t: float) -> None:
+        if t < self.best_time or (
+            t == self.best_time and sizes < self.best_sizes
+        ):
+            self.best_time = t
+            self.best_sizes = sizes
+
+
+def _stage_sums(
+    fwd: Sequence[float], bwd: Sequence[float], sizes: Sequence[int]
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Left-to-right per-stage slice sums (the brute force's summation)."""
+    f_stages: List[float] = []
+    b_stages: List[float] = []
+    pos = 0
+    for size in sizes:
+        f_stages.append(sum(fwd[pos:pos + size]))
+        b_stages.append(sum(bwd[pos:pos + size]))
+        pos += size
+    return tuple(f_stages), tuple(b_stages)
+
+
+def _search_brute(
+    fwd: Sequence[float],
+    bwd: Sequence[float],
+    comm: float,
+    num_stages: int,
+    num_micro_batches: int,
+    comm_mode: str,
+    sim_cache: Optional[SimCache],
+    state: _SearchState,
+) -> None:
+    """The literal brute force: one scalar simulation per candidate."""
+    n = len(fwd)
+    for sizes in iter_partitions(n, num_stages):
+        f_stages, b_stages = _stage_sums(fwd, bwd, sizes)
+        times = StageTimes(f_stages, b_stages, comm)
+        sim = sim_cache.peek(times, num_micro_batches, comm_mode) \
+            if sim_cache is not None else None
+        if sim is not None:
+            state.cache_hits += 1
+        else:
+            sim = PipelineSim(
+                times, num_micro_batches, comm_mode=comm_mode
+            ).run()
+            state.evaluations += 1
+        state.offer(sizes, sim.iteration_time)
+
+
+def _search_pruned(
+    fwd: Sequence[float],
+    bwd: Sequence[float],
+    comm: float,
+    num_stages: int,
+    num_micro_batches: int,
+    comm_mode: str,
+    sim_cache: Optional[SimCache],
+    state: _SearchState,
+    chunk_size: int,
+) -> None:
+    """Branch-and-bound over cut positions with batched leaf evaluation.
+
+    Lower bounds (all provable for both comm modes, which charge at least
+    ``Comm`` on every cross-stage dependency edge):
+
+    * **straggler bound** — for any stage ``x`` with load
+      ``w_x = f_x + b_x``, micro-batch 0's forward must reach it
+      (``sum_{y<x} f_y + x*Comm``), its 2m intra-chained ops need
+      ``m * w_x``, and micro-batch m-1's backward must return to stage 0
+      (``sum_{y<x} b_y + x*Comm``); so
+      ``T >= prefixW(x) + 2*x*Comm + m*w_x``.
+    * **max-stage-load relaxation** for the unassigned suffix: any
+      completion of blocks ``pos..n-1`` into ``k`` stages has some stage
+      with load ``>= minmax(pos, k)`` — the min-max DP value of the
+      suffix, precomputed for every ``(pos, k)`` — so
+      ``T >= prefixW(pos) + 2*s*Comm + m * minmax(pos, k)``.
+    * **round-trip + tail bound** — micro-batch 0's backward reaches
+      stage ``x`` no earlier than the full forward sweep plus the
+      backward sweep up from the last stage
+      (``sum_f + (p-1)*Comm + sum_{y>=x} b_y + (p-1-x)*Comm``); stage
+      ``x`` then still owes its remaining 1F1B pairs and cooldown
+      (``tail(x) = (s_x - 1)*(f_x + b_x) + w_x^{cnt} * b_x`` with
+      ``w_x^{cnt} = min(m, p-1-x)`` warmup depth and ``s_x = m - w_x^{cnt}``
+      steady pairs, or ``(m-1)*b_x`` when ``s_x = 0``), and micro-batch
+      m-1's backward must return to stage 0 (``prefixB(x) + x*Comm``).
+      Summing: ``T >= W_total + 2*(p-1)*Comm + tail(x)``.  For the
+      unassigned suffix of ``k`` stages the relaxation
+      ``tail >= (m - k) * minmax(pos, k)`` applies when ``m >= k``.
+    """
+    n = len(fwd)
+    p = num_stages
+    m = num_micro_batches
+    weights = [f + b for f, b in zip(fwd, bwd)]
+    # Float prefix sums drive the *bounds* only; candidate stage times
+    # always use the brute force's left-to-right slice sums.
+    prefw = [0.0]
+    for x in weights:
+        prefw.append(prefw[-1] + x)
+    # minmax[k][pos]: smallest achievable max stage load when splitting
+    # blocks pos..n-1 into k stages (inf where infeasible).  O(p * n^2).
+    inf = float("inf")
+    minmax = [[inf] * (n + 1) for _ in range(p + 1)]
+    for pos in range(n + 1):
+        minmax[1][pos] = prefw[n] - prefw[pos] if pos < n else inf
+    for k in range(2, p + 1):
+        for pos in range(n - k, -1, -1):
+            best = inf
+            for z in range(1, n - pos - k + 2):
+                head = prefw[pos + z] - prefw[pos]
+                if head >= best:
+                    break  # head grows with z; no better split follows
+                tail = minmax[k - 1][pos + z]
+                cand = head if head > tail else tail
+                if cand < best:
+                    best = cand
+            minmax[k][pos] = best
+    #: round-trip constant of the tail bound; the last stage always
+    #: contains block n-1, giving the global floor below.
+    base_rt = prefw[n] + 2 * (p - 1) * comm
+    floor = base_rt + (m - 1) * weights[n - 1]
+
+    def tail(stage: int, f_sum: float, b_sum: float) -> float:
+        """Work stage ``stage`` still owes after micro-batch 0 returns."""
+        w_cnt = min(m, p - 1 - stage)
+        steady = m - w_cnt
+        if steady >= 1:
+            return (steady - 1) * (f_sum + b_sum) + w_cnt * b_sum
+        return (m - 1) * b_sum
+
+    #: leaves awaiting evaluation: (sizes, per-stage fwd, per-stage bwd).
+    buffer: List[Tuple[Tuple[int, ...], Tuple[float, ...], Tuple[float, ...]]] = []
+    #: warm-start results, so the DFS re-encounter is not double-counted.
+    warm: dict = {}
+
+    def flush() -> None:
+        if not buffer:
+            return
+        resolved: List[Optional[float]] = [None] * len(buffer)
+        misses: List[int] = []
+        for j, (sizes, f_stages, b_stages) in enumerate(buffer):
+            t = warm.get(sizes)
+            if t is not None:
+                resolved[j] = t
+                continue
+            if sim_cache is not None:
+                hit = sim_cache.peek(
+                    StageTimes(f_stages, b_stages, comm), m, comm_mode
+                )
+                if hit is not None:
+                    resolved[j] = hit.iteration_time
+                    state.cache_hits += 1
+                    continue
+            misses.append(j)
+        if misses:
+            batch = PipelineSimBatch(
+                np.asarray([buffer[j][1] for j in misses]),
+                np.asarray([buffer[j][2] for j in misses]),
+                comm, m, comm_mode=comm_mode,
+            )
+            state.evaluations += len(misses)
+            for j, t in zip(misses, batch.iteration_times().tolist()):
+                resolved[j] = t
+        for j, (sizes, _, _) in enumerate(buffer):
+            state.offer(sizes, resolved[j])
+        buffer.clear()
+
+    # Warm start: the Algorithm-1 min-max seed gives a strong incumbent
+    # before the DFS begins, so the bounds prune from candidate one.
+    seed = tuple(min_max_partition(weights, p))
+    seed_f, seed_b = _stage_sums(fwd, bwd, seed)
+    seed_times = StageTimes(seed_f, seed_b, comm)
+    seed_sim = sim_cache.peek(seed_times, m, comm_mode) \
+        if sim_cache is not None else None
+    if seed_sim is not None:
+        state.cache_hits += 1
+    else:
+        seed_sim = PipelineSim(seed_times, m, comm_mode=comm_mode).run()
+        state.evaluations += 1
+    warm[seed] = seed_sim.iteration_time
+    state.offer(seed, seed_sim.iteration_time)
+
+    def descend(
+        s: int,
+        pos: int,
+        sizes: Tuple[int, ...],
+        f_stages: Tuple[float, ...],
+        b_stages: Tuple[float, ...],
+        fixed_bound: float,
+    ) -> None:
+        rem_stages = p - s
+        if rem_stages == 1:
+            f_sum = sum(fwd[pos:n])
+            b_sum = sum(bwd[pos:n])
+            lb = max(
+                fixed_bound,
+                prefw[pos] + 2 * s * comm + m * (f_sum + b_sum),
+                base_rt + tail(s, f_sum, b_sum),
+                floor,
+            )
+            if lb > state.best_time * _PRUNE_SLACK:
+                return
+            buffer.append(
+                (sizes + (n - pos,), f_stages + (f_sum,), b_stages + (b_sum,))
+            )
+            if len(buffer) >= chunk_size:
+                flush()
+            return
+        max_size = n - pos - (rem_stages - 1)
+        base = prefw[pos] + 2 * s * comm
+        f_sum = 0.0
+        b_sum = 0.0
+        for size in range(1, max_size + 1):
+            # Incremental accumulation == sum(fwd[pos:pos+size]) exactly.
+            f_sum += fwd[pos + size - 1]
+            b_sum += bwd[pos + size - 1]
+            new_fixed = max(
+                fixed_bound,
+                base + m * (f_sum + b_sum),
+                base_rt + tail(s, f_sum, b_sum),
+            )
+            if new_fixed > state.best_time * _PRUNE_SLACK:
+                # Both fixed-stage bounds grow with the stage, so every
+                # larger size for this stage is pruned too.
+                break
+            pos2 = pos + size
+            rem = rem_stages - 1
+            rem_bound = prefw[pos2] + 2 * (s + 1) * comm \
+                + m * minmax[rem][pos2]
+            if m > rem:
+                rem_bound = max(
+                    rem_bound, base_rt + (m - rem) * minmax[rem][pos2]
+                )
+            if max(new_fixed, rem_bound, floor) > state.best_time * _PRUNE_SLACK:
+                continue
+            descend(
+                s + 1, pos2, sizes + (size,),
+                f_stages + (f_sum,), b_stages + (b_sum,), new_fixed,
+            )
+
+    descend(0, 0, (), (), (), 0.0)
+    flush()
+
+
 def exhaustive_partition(
     profile: ModelProfile,
     num_stages: int,
@@ -64,11 +372,18 @@ def exhaustive_partition(
     *,
     comm_mode: str = "paper",
     max_evaluations: Optional[int] = 2_000_000,
+    prune: bool = True,
+    sim_cache: Optional[SimCache] = None,
+    chunk_size: int = _DEFAULT_CHUNK,
 ) -> ExhaustiveResult:
-    """Brute-force the optimal partition by simulating every candidate.
+    """Find the optimal partition over every contiguous candidate.
 
-    Raises ``ValueError`` if the search space exceeds ``max_evaluations``
-    (pass ``None`` to force it anyway).
+    ``prune=True`` (default) runs the branch-and-bound + batched search;
+    ``prune=False`` runs the literal scalar brute force.  Both return the
+    identical partition and iteration time.  ``sim_cache`` harvests
+    vectors already simulated in-process (e.g. by the planner) and is
+    reported via ``cache_hits``.  Raises ``ValueError`` if the search
+    space exceeds ``max_evaluations`` (pass ``None`` to force it anyway).
     """
     n = profile.num_blocks
     space = count_partitions(n, num_stages)
@@ -77,32 +392,38 @@ def exhaustive_partition(
             f"search space C({n - 1},{num_stages - 1}) = {space} exceeds "
             f"max_evaluations={max_evaluations}"
         )
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
     t0 = _time.perf_counter()
     fwd = profile.fwd_times()
     bwd = profile.bwd_times()
     comm = profile.comm_time
 
-    best_sizes: Optional[Tuple[int, ...]] = None
-    best_sim: Optional[SimResult] = None
-    evaluations = 0
-    for sizes in iter_partitions(n, num_stages):
-        f_stages = []
-        b_stages = []
-        pos = 0
-        for size in sizes:
-            f_stages.append(sum(fwd[pos:pos + size]))
-            b_stages.append(sum(bwd[pos:pos + size]))
-            pos += size
-        times = StageTimes(tuple(f_stages), tuple(b_stages), comm)
-        sim = PipelineSim(times, num_micro_batches, comm_mode=comm_mode).run()
-        evaluations += 1
-        if best_sim is None or sim.iteration_time < best_sim.iteration_time:
-            best_sim = sim
-            best_sizes = sizes
-    assert best_sizes is not None and best_sim is not None
+    state = _SearchState()
+    if prune:
+        _search_pruned(
+            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+            sim_cache, state, chunk_size,
+        )
+    else:
+        _search_brute(
+            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+            sim_cache, state,
+        )
+    assert state.best_sizes is not None
+    f_stages, b_stages = _stage_sums(fwd, bwd, state.best_sizes)
+    times = StageTimes(f_stages, b_stages, comm)
+    if sim_cache is not None:
+        best_sim = sim_cache.simulate(times, num_micro_batches, comm_mode)
+    else:
+        best_sim = PipelineSim(
+            times, num_micro_batches, comm_mode=comm_mode
+        ).run()
     return ExhaustiveResult(
-        partition=PartitionScheme.from_sizes(best_sizes),
+        partition=PartitionScheme.from_sizes(state.best_sizes),
         sim=best_sim,
-        evaluations=evaluations,
+        evaluations=state.evaluations,
         search_seconds=_time.perf_counter() - t0,
+        space=space,
+        cache_hits=state.cache_hits,
     )

@@ -66,6 +66,23 @@ class SimCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def peek(
+        self, times: StageTimes, num_micro_batches: int, comm_mode: str
+    ) -> Optional[SimResult]:
+        """Cache lookup that never simulates: the memoised result or None.
+
+        Counts a hit when present; a miss leaves the counters untouched
+        (``misses`` keeps meaning "simulations actually run").  Used by the
+        exhaustive oracle to harvest vectors the planner already evaluated
+        before falling through to batched evaluation.
+        """
+        key = (times.fwd, times.bwd, times.comm, num_micro_batches, comm_mode)
+        sim = self._data.get(key)
+        if sim is not None:
+            self.hits += 1
+            self._data.move_to_end(key)
+        return sim
+
     def simulate(
         self, times: StageTimes, num_micro_batches: int, comm_mode: str
     ) -> SimResult:

@@ -85,9 +85,24 @@ def solve_slice_count(times: StageTimes, num_micro_batches: int) -> int:
 
     ``times`` holds the per-stage ``f_i``/``b_i`` of the partition scheme
     produced by the Planner plus the scalar ``Comm``.
+
+    Raises :class:`ValueError` for a non-positive micro-batch count or a
+    stage with zero (or negative) forward/backward time — both would send
+    the mb-growing loop chasing a startup overhead that does not exist.
     """
     p = times.num_stages
     f, b, comm = times.fwd, times.bwd, times.comm
+    if num_micro_batches <= 0:
+        raise ValueError(
+            f"num_micro_batches must be positive, got {num_micro_batches}"
+        )
+    for name, vec in (("forward", f), ("backward", b)):
+        for i, t in enumerate(vec):
+            if t <= 0:
+                raise ValueError(
+                    f"stage {i} has non-positive {name} time {t!r}; "
+                    "slice counts are undefined for zero-time stages"
+                )
     max_mb = min(max(p - 1, 1), num_micro_batches)
     if p == 1:
         # A single stage has no startup overhead to hide.

@@ -15,6 +15,7 @@ surface as ``status`` markers, mirroring the paper's "OOM" and "X" cells.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -129,6 +130,21 @@ def make_profile(
 # -- plain-text table rendering ---------------------------------------------
 
 
+def format_float(v: float) -> str:
+    """Format a float without collapsing small values to ``0.0``.
+
+    Values at or above 0.1 in magnitude (and exact zero) keep the
+    historical one-decimal format; smaller values switch to two
+    significant figures so sub-0.1 entries (speedup deltas, seconds-scale
+    timings) stay distinguishable from zero.
+    """
+    if v == 0 or abs(v) >= 0.1:
+        return f"{v:.1f}"
+    # two significant figures: one more decimal than the leading zero run.
+    decimals = min(1 - math.floor(math.log10(abs(v))), 12)
+    return f"{v:.{decimals}f}"
+
+
 def format_table(
     title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> str:
@@ -136,7 +152,7 @@ def format_table(
 
     def cell(v: object) -> str:
         if isinstance(v, float):
-            return f"{v:.1f}"
+            return format_float(v)
         return str(v)
 
     grid = [list(map(cell, headers))] + [list(map(cell, r)) for r in rows]

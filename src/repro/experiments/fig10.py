@@ -11,7 +11,7 @@ the Slicer alone *hurts* at depth 2 and helps at deeper pipelines.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ModelConfig
 from repro.experiments.common import (
@@ -20,6 +20,7 @@ from repro.experiments.common import (
     make_profile,
     run_method,
 )
+from repro.experiments.runner import SweepRunner, default_runner
 from repro.models.zoo import BERT_LARGE, GPT2_345M, GPT2_762M
 
 METHODS = ("megatron", "slicer", "planner", "autopipe")
@@ -45,27 +46,33 @@ def run_point(
 
 def run(
     configs: Sequence[Tuple[ModelConfig, int, Tuple[int, ...]]] = CONFIGS,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
+    runner = runner or default_runner()
     result = ExperimentResult(
         name="Fig 10: iteration time (ms) vs pipeline depth "
              "(micro-batches = 2 x depth)",
         headers=["model", "mbs", "stages", *METHODS, "autopipe speedup"],
     )
-    for model, mbs, stage_list in configs:
-        for stages in stage_list:
-            point = run_point(model, mbs, stages)
-            row: List[object] = [model.name, mbs, stages]
-            for method in METHODS:
-                r = point[method]
-                row.append(f"{r.iteration_seconds * 1e3:.1f}" if r.ok else r.status)
-            mega, auto = point["megatron"], point["autopipe"]
-            if mega.ok and auto.ok:
-                row.append(
-                    f"{mega.iteration_seconds / auto.iteration_seconds:.3f}x"
-                )
-            else:
-                row.append("-")
-            result.rows.append(row)
+    cells = [
+        (model, mbs, stages)
+        for model, mbs, stage_list in configs
+        for stages in stage_list
+    ]
+    points = runner.run(run_point, cells)
+    for (model, mbs, stages), point in zip(cells, points):
+        row: List[object] = [model.name, mbs, stages]
+        for method in METHODS:
+            r = point[method]
+            row.append(f"{r.iteration_seconds * 1e3:.1f}" if r.ok else r.status)
+        mega, auto = point["megatron"], point["autopipe"]
+        if mega.ok and auto.ok:
+            row.append(
+                f"{mega.iteration_seconds / auto.iteration_seconds:.3f}x"
+            )
+        else:
+            row.append("-")
+        result.rows.append(row)
     return result
 
 

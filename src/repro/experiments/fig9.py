@@ -12,7 +12,7 @@ micro-batch size; Planner contributes more than the Slicer at this depth.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import ModelConfig
 from repro.experiments.common import (
@@ -21,6 +21,7 @@ from repro.experiments.common import (
     make_profile,
     run_method,
 )
+from repro.experiments.runner import SweepRunner, default_runner
 from repro.models.zoo import BERT_LARGE, GPT2_345M, GPT2_762M
 
 NUM_STAGES = 4
@@ -44,27 +45,31 @@ def run_point(
 def run(
     models: Sequence[ModelConfig] = MODELS,
     micro_batch_sizes: Sequence[int] = MICRO_BATCH_SIZES,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
+    runner = runner or default_runner()
     result = ExperimentResult(
         name="Fig 9: iteration time (ms) vs micro-batch size "
              f"({NUM_STAGES} stages, {NUM_MICRO_BATCHES} micro-batches)",
         headers=["model", "mbs", *METHODS, "autopipe speedup"],
     )
-    for model in models:
-        for mbs in micro_batch_sizes:
-            point = run_point(model, mbs)
-            row: List[object] = [model.name, mbs]
-            for method in METHODS:
-                r = point[method]
-                row.append(f"{r.iteration_seconds * 1e3:.1f}" if r.ok else r.status)
-            mega, auto = point["megatron"], point["autopipe"]
-            if mega.ok and auto.ok:
-                row.append(
-                    f"{mega.iteration_seconds / auto.iteration_seconds:.3f}x"
-                )
-            else:
-                row.append("-")
-            result.rows.append(row)
+    cells = [
+        (model, mbs) for model in models for mbs in micro_batch_sizes
+    ]
+    points = runner.run(run_point, cells)
+    for (model, mbs), point in zip(cells, points):
+        row: List[object] = [model.name, mbs]
+        for method in METHODS:
+            r = point[method]
+            row.append(f"{r.iteration_seconds * 1e3:.1f}" if r.ok else r.status)
+        mega, auto = point["megatron"], point["autopipe"]
+        if mega.ok and auto.ok:
+            row.append(
+                f"{mega.iteration_seconds / auto.iteration_seconds:.3f}x"
+            )
+        else:
+            row.append("-")
+        result.rows.append(row)
     return result
 
 

@@ -1,0 +1,191 @@
+"""Parallel experiment sweep runner with an on-disk result cache.
+
+The paper-table and figure sweeps are embarrassingly parallel: every
+(model, depth, micro-batch, method) cell plans and simulates
+independently.  :class:`SweepRunner` fans cells out over a
+``ProcessPoolExecutor`` and memoises finished cells on disk, so
+
+* ``python -m repro table3 --jobs 8`` uses 8 worker processes, and
+* re-running ``report`` after an unrelated edit only recomputes cells
+  whose cache key changed.
+
+Cache-key scheme
+----------------
+A cell is identified by the SHA-256 of
+
+* the cell function's dotted name (``module.qualname``),
+* the SHA-256 of the *source file* defining it (so editing an experiment
+  module invalidates exactly that module's cells, while unrelated edits
+  keep the cache warm),
+* the ``repr`` of the argument tuple (configs are frozen dataclasses
+  with stable reprs), and
+* a schema version plus an optional caller-supplied ``salt`` for manual
+  invalidation (e.g. bump it when core planner behaviour changes).
+
+Values are stored as pickles under ``cache_dir/<key>.pkl`` and written
+atomically (temp file + rename), so concurrent runners sharing a cache
+directory never observe torn entries.
+
+Cells run via a process pool must be module-level functions with
+picklable arguments and results.  ``jobs=1`` (the default) runs inline —
+no subprocess, no pickling constraints beyond the disk cache's.
+
+Experiment modules resolve their runner through
+:func:`default_runner` / :func:`set_default_runner`, which the CLI wires
+to ``--jobs`` / ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: bump to invalidate every on-disk entry (cache layout changes).
+_SCHEMA = "1"
+
+
+class SweepRunner:
+    """Execute experiment cells, optionally in parallel and cached."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        *,
+        salt: str = "",
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.salt = salt
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._source_hashes: dict = {}
+
+    # -- cache keys --------------------------------------------------------
+
+    def _source_hash(self, fn: Callable) -> str:
+        module = getattr(fn, "__module__", "?")
+        cached = self._source_hashes.get(module)
+        if cached is None:
+            try:
+                import importlib
+
+                path = getattr(
+                    importlib.import_module(module), "__file__", None
+                )
+                cached = hashlib.sha256(
+                    Path(path).read_bytes()
+                ).hexdigest() if path else "no-source"
+            except Exception:
+                cached = "no-source"
+            self._source_hashes[module] = cached
+        return cached
+
+    def cell_key(self, fn: Callable, args: Tuple) -> str:
+        """Content-hash key of one (function, args) cell."""
+        payload = "\0".join((
+            _SCHEMA,
+            self.salt,
+            f"{fn.__module__}.{fn.__qualname__}",
+            self._source_hash(fn),
+            repr(args),
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _cache_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def _load(self, key: str):
+        path = self._cache_path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            return None
+
+    def _store(self, key: str, value) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh)
+            os.replace(tmp, self._cache_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, fn: Callable, cells: Sequence[Tuple]) -> List:
+        """Evaluate ``fn(*cell)`` for every cell, in order.
+
+        Cached cells are served from disk; the rest run on the process
+        pool (``jobs > 1``) or inline, and are written back to the cache.
+        """
+        cells = [tuple(c) for c in cells]
+        results: List = [None] * len(cells)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(cells)
+        if self.cache_dir is not None:
+            for i, cell in enumerate(cells):
+                keys[i] = self.cell_key(fn, cell)
+                cached = self._load(keys[i])
+                if cached is not None:
+                    results[i] = cached
+                    self.cache_hits += 1
+                else:
+                    pending.append(i)
+                    self.cache_misses += 1
+        else:
+            pending = list(range(len(cells)))
+
+        if pending:
+            fresh = self._execute(fn, [cells[i] for i in pending])
+            for i, value in zip(pending, fresh):
+                results[i] = value
+                if keys[i] is not None:
+                    self._store(keys[i], value)
+        return results
+
+    def _execute(self, fn: Callable, cells: List[Tuple]) -> List:
+        if self.jobs == 1 or len(cells) <= 1:
+            return [fn(*cell) for cell in cells]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(cells))
+            ) as pool:
+                futures = [pool.submit(fn, *cell) for cell in cells]
+                return [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Sandboxes without process/semaphore support fall back to
+            # inline execution rather than failing the sweep.
+            return [fn(*cell) for cell in cells]
+
+
+#: process-wide runner used when experiment entry points get none;
+#: sequential and uncached by default, rebound by the CLI's --jobs.
+_DEFAULT_RUNNER = SweepRunner()
+
+
+def default_runner() -> SweepRunner:
+    """The runner experiment modules use when none is passed."""
+    return _DEFAULT_RUNNER
+
+
+def set_default_runner(runner: SweepRunner) -> SweepRunner:
+    """Rebind the process-wide runner (CLI --jobs/--cache-dir); returns it."""
+    global _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = runner
+    return _DEFAULT_RUNNER

@@ -44,7 +44,9 @@ class TestOracle:
     def test_heuristic_vastly_cheaper(self, tiny_profile):
         oracle = exhaustive_partition(tiny_profile, 4, 8)
         heuristic = plan_partition(tiny_profile, 4, 8)
-        assert heuristic.evaluations < oracle.evaluations / 5
+        # Compare against the enumeration space: the pruned oracle itself
+        # now simulates far fewer candidates than it enumerates.
+        assert heuristic.evaluations < oracle.space / 5
 
     def test_oracle_never_above_algorithm1_seed(self, tiny_profile):
         from repro.core.analytic_sim import simulate_partition
@@ -59,3 +61,38 @@ class TestOracle:
             exhaustive_partition(
                 gpt2_profile, 8, 8, max_evaluations=1000
             )
+
+
+class TestPrunedEquivalence:
+    @pytest.mark.parametrize("stages,m", [(2, 4), (3, 6), (4, 8)])
+    @pytest.mark.parametrize("comm_mode", ["paper", "edges"])
+    def test_pruned_matches_brute_force(
+        self, tiny_profile, stages, m, comm_mode
+    ):
+        """Branch-and-bound returns the brute-force argmin bit-for-bit."""
+        brute = exhaustive_partition(
+            tiny_profile, stages, m, comm_mode=comm_mode, prune=False
+        )
+        pruned = exhaustive_partition(
+            tiny_profile, stages, m, comm_mode=comm_mode, prune=True
+        )
+        assert pruned.partition.sizes == brute.partition.sizes
+        assert pruned.iteration_time == brute.iteration_time
+        assert pruned.space == brute.space
+        assert pruned.evaluations <= brute.evaluations
+
+    def test_pruned_actually_prunes(self, tiny_profile):
+        pruned = exhaustive_partition(tiny_profile, 4, 8, prune=True)
+        assert pruned.evaluations < pruned.space
+        assert pruned.pruned > 0
+
+    def test_sim_cache_reports_hits(self, tiny_profile):
+        from repro.core.planner import SimCache
+
+        cache = SimCache()
+        first = exhaustive_partition(tiny_profile, 3, 6, sim_cache=cache)
+        again = exhaustive_partition(tiny_profile, 3, 6, sim_cache=cache)
+        assert first.cache_hits == 0 or first.cache_hits < first.space
+        assert again.cache_hits > 0
+        assert again.partition.sizes == first.partition.sizes
+        assert again.iteration_time == first.iteration_time

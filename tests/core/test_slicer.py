@@ -35,6 +35,18 @@ class TestSolveSliceCount:
     def test_capped_by_micro_batches(self):
         assert solve_slice_count(balanced(8), 1) <= 1
 
+    def test_rejects_non_positive_micro_batches(self):
+        with pytest.raises(ValueError, match="num_micro_batches"):
+            solve_slice_count(balanced(4), 0)
+        with pytest.raises(ValueError, match="num_micro_batches"):
+            solve_slice_count(balanced(4), -3)
+
+    def test_rejects_zero_time_stages(self):
+        with pytest.raises(ValueError, match="non-positive forward"):
+            solve_slice_count(StageTimes((1.0, 0.0), (2.0, 2.0), 0.1), 4)
+        with pytest.raises(ValueError, match="non-positive backward"):
+            solve_slice_count(StageTimes((1.0, 1.0), (2.0, 0.0), 0.1), 4)
+
     @settings(max_examples=60, deadline=None)
     @given(
         st.integers(min_value=2, max_value=10),

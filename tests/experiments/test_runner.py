@@ -1,0 +1,107 @@
+"""SweepRunner: ordering, caching, invalidation and the parallel path."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import (
+    SweepRunner,
+    default_runner,
+    set_default_runner,
+)
+
+
+def square(x):
+    return x * x
+
+
+def pair(a, b):
+    return (a, b)
+
+
+class TestInline:
+    def test_results_in_cell_order(self):
+        runner = SweepRunner()
+        assert runner.run(square, [(3,), (1,), (2,)]) == [9, 1, 4]
+
+    def test_multi_arg_cells(self):
+        runner = SweepRunner()
+        assert runner.run(pair, [(1, 2), (3, 4)]) == [(1, 2), (3, 4)]
+
+    def test_empty_sweep(self):
+        assert SweepRunner().run(square, []) == []
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepRunner(jobs=0)
+
+
+class TestCache:
+    def test_second_run_is_served_from_disk(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        first = runner.run(square, [(2,), (3,)])
+        assert runner.cache_misses == 2 and runner.cache_hits == 0
+        second = runner.run(square, [(2,), (3,)])
+        assert second == first == [4, 9]
+        assert runner.cache_hits == 2
+
+    def test_cache_shared_across_runners(self, tmp_path):
+        SweepRunner(cache_dir=tmp_path).run(square, [(5,)])
+        other = SweepRunner(cache_dir=tmp_path)
+        assert other.run(square, [(5,)]) == [25]
+        assert other.cache_hits == 1
+
+    def test_salt_invalidates(self, tmp_path):
+        a = SweepRunner(cache_dir=tmp_path)
+        a.run(square, [(4,)])
+        b = SweepRunner(cache_dir=tmp_path, salt="v2")
+        b.run(square, [(4,)])
+        assert b.cache_hits == 0 and b.cache_misses == 1
+
+    def test_different_args_different_keys(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        assert runner.cell_key(square, (1,)) != runner.cell_key(square, (2,))
+        assert runner.cell_key(square, (1,)) != runner.cell_key(pair, (1,))
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(square, [(6,)])
+        key = runner.cell_key(square, (6,))
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        fresh = SweepRunner(cache_dir=tmp_path)
+        assert fresh.run(square, [(6,)]) == [36]
+        assert fresh.cache_misses == 1
+
+    def test_entries_are_atomic_pickles(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(square, [(7,)])
+        key = runner.cell_key(square, (7,))
+        with open(tmp_path / f"{key}.pkl", "rb") as fh:
+            assert pickle.load(fh) == 49
+        assert not list(tmp_path.glob(".tmp-*"))
+
+
+class TestParallel:
+    def test_pool_path_matches_inline(self, tmp_path):
+        cells = [(i,) for i in range(6)]
+        inline = SweepRunner(jobs=1).run(square, cells)
+        pooled = SweepRunner(jobs=2).run(square, cells)
+        assert pooled == inline
+
+    def test_pool_plus_cache(self, tmp_path):
+        runner = SweepRunner(jobs=2, cache_dir=tmp_path)
+        assert runner.run(square, [(1,), (2,), (3,)]) == [1, 4, 9]
+        again = SweepRunner(jobs=2, cache_dir=tmp_path)
+        assert again.run(square, [(1,), (2,), (3,)]) == [1, 4, 9]
+        assert again.cache_hits == 3
+
+
+class TestDefaultRunner:
+    def test_rebind_and_restore(self):
+        original = default_runner()
+        try:
+            custom = SweepRunner(jobs=1, salt="cli")
+            assert set_default_runner(custom) is custom
+            assert default_runner() is custom
+        finally:
+            set_default_runner(original)
