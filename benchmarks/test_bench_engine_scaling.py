@@ -26,12 +26,16 @@ from pathlib import Path
 from repro.baselines.megatron import uniform_partition
 from repro.core.planner import SimCache, plan_partition
 from repro.experiments.common import make_profile
+from repro.experiments.deep_pipeline import DEEP_GPT, DEEP_HW
 from repro.hardware.cluster import Cluster
 from repro.models.zoo import BERT_LARGE, GPT2_345M
 from repro.runtime.trainer import build_schedule
 from repro.sim.engine import Engine
+from repro.sim.graph_exec import compile_graph, run_batch
 
 DEPTHS = (2, 4, 8, 12)
+#: depths for the compiled-vs-event comparison (128-layer deep model).
+COMPILED_DEPTHS = (8, 16, 32, 64)
 #: Wall-clock ceiling for one 12-stage Fig. 10 DES run.  Seed: ~7.5 ms,
 #: event-driven engine: ~0.75 ms.  Generous so only regressions trip it.
 DES_BUDGET_12_STAGE_SECONDS = 0.050
@@ -92,6 +96,108 @@ def test_bench_des_scaling(benchmark):
     # Deeper pipelines must not blow up super-linearly (the old sweep was
     # quadratic in executed ops); 6x the depth may cost at most ~60x.
     assert curve[12] < 60 * max(curve[2], 1e-4)
+
+
+def _deep_setting(depth: int, micro_batch_size: int = 4):
+    """A Fig. 10-style 1F1B setting on the 128-layer deep-pipeline model."""
+    m = 2 * depth
+    profile = make_profile(DEEP_GPT, micro_batch_size, m, hardware=DEEP_HW)
+    partition = uniform_partition(profile, depth)
+    sched = build_schedule(profile, partition, m)
+    cluster = Cluster(profile.hardware)
+    devices = cluster.pipeline_devices(depth)
+    return sched, cluster, devices
+
+
+def test_bench_compiled_vs_event(benchmark):
+    """Compiled static-graph executor vs the event loop, depths 8–64.
+
+    Both executors run warm (programs lowered / graph compiled once) —
+    the regime of planner sweeps re-executing cached structures.  The
+    acceptance bar from the issue: >= 5x at depth >= 32, single run.
+    """
+    rows = {}
+    for depth in COMPILED_DEPTHS:
+        sched, cluster, devices = _deep_setting(depth)
+        graph = compile_graph(sched, cluster, device_map=devices)
+        expected = graph.run().iteration_time
+
+        event_best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            result = Engine(sched, cluster, device_map=devices).run()
+            event_best = min(event_best, time.perf_counter() - t0)
+        assert result.iteration_time == expected
+
+        compiled_best = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter()
+            graph.run()
+            compiled_best = min(compiled_best, time.perf_counter() - t0)
+
+        rows[depth] = {
+            "event_seconds": event_best,
+            "compiled_seconds": compiled_best,
+            "speedup": event_best / compiled_best,
+            "nodes": graph.structure.num_nodes,
+        }
+
+    # Batched-K throughput: K same-shape schedules (different micro-batch
+    # sizes -> different cost vectors) over one structure in one pass.
+    batch_depth = 32
+    graphs = []
+    for mbs in range(1, 9):
+        sched, cluster, devices = _deep_setting(batch_depth, mbs)
+        graphs.append(compile_graph(sched, cluster, device_map=devices))
+    assert all(g.structure is graphs[0].structure for g in graphs)
+    run_batch(graphs)  # warm
+    t0 = time.perf_counter()
+    batched = run_batch(graphs)
+    batch_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    singles = [g.run() for g in graphs]
+    scalar_seconds = time.perf_counter() - t0
+    assert [r.iteration_time for r in batched] == [
+        s.iteration_time for s in singles
+    ]
+
+    benchmark.pedantic(graphs[0].run, rounds=3, iterations=1)
+
+    print()
+    for depth, row in rows.items():
+        print(
+            f"depth {depth:2d}: event {row['event_seconds'] * 1e3:8.3f} ms  "
+            f"compiled {row['compiled_seconds'] * 1e3:7.3f} ms  "
+            f"speedup {row['speedup']:5.1f}x"
+        )
+    print(
+        f"batched K={len(graphs)} depth {batch_depth}: "
+        f"{batch_seconds * 1e3:.3f} ms vs {scalar_seconds * 1e3:.3f} ms "
+        f"scalar ({scalar_seconds / batch_seconds:.1f}x)"
+    )
+
+    _merge_into_results("compiled_graph", {
+        "setting": (
+            "1f1b, gpt-deep-128, m=2*depth, warm structures, "
+            "event best of 3 / compiled best of 5"
+        ),
+        "by_depth": {str(d): row for d, row in rows.items()},
+        "batched_k": {
+            "depth": batch_depth,
+            "k": len(graphs),
+            "batch_seconds": batch_seconds,
+            "scalar_seconds": scalar_seconds,
+            "speedup_vs_scalar": scalar_seconds / batch_seconds,
+        },
+    })
+
+    deep_speedups = [
+        rows[d]["speedup"] for d in COMPILED_DEPTHS if d >= 32
+    ]
+    assert max(deep_speedups) >= 5.0, (
+        f"compiled executor speedup at depth>=32 fell to "
+        f"{max(deep_speedups):.1f}x (< 5x acceptance bar)"
+    )
 
 
 def test_bench_planner_search(benchmark):

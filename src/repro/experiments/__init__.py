@@ -1,6 +1,7 @@
 """One module per table/figure of the paper's evaluation (Section IV)."""
 
 from repro.experiments import (  # noqa: F401
+    deep_pipeline,
     fig9,
     fig10,
     fig11,
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = {
     "table3": table3,
     "table4": table4,
     "sensitivity": sensitivity,
+    "deep_pipeline": deep_pipeline,
 }
 
 from repro.experiments import report  # noqa: E402,F401  (imports the above)

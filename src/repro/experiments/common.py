@@ -29,7 +29,7 @@ from repro.hardware.device import DEFAULT_CLUSTER_HW
 from repro.profiling import ModelProfile, profile_model
 from repro.runtime.trainer import run_pipeline
 from repro.schedules.interleaved import InterleavedInfeasible, build_interleaved
-from repro.sim.engine import execute
+from repro.sim.graph_exec import execute_fast
 
 METHODS = ("megatron", "slicer", "planner", "autopipe", "interleaved", "gpipe")
 
@@ -76,7 +76,7 @@ def run_method(
                 profile, num_stages, num_micro_batches, num_chunks=2
             )
             devices = cluster.pipeline_devices(num_stages)
-            execution = execute(schedule, cluster, device_map=devices)
+            execution = execute_fast(schedule, cluster, device_map=devices)
         else:
             if method in ("megatron", "slicer", "gpipe"):
                 partition = uniform_partition(profile, num_stages)

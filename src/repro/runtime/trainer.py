@@ -21,7 +21,8 @@ from repro.schedules.base import Schedule
 from repro.schedules.gpipe import build_gpipe
 from repro.schedules.one_f_one_b import build_1f1b
 from repro.schedules.sliced import build_sliced
-from repro.sim.engine import ExecutionResult, execute
+from repro.sim.engine import Engine, ExecutionResult
+from repro.sim.graph_exec import execute_fast
 
 
 @dataclass(frozen=True)
@@ -78,13 +79,25 @@ def run_pipeline(
     schedule: str = "1f1b",
     slice_plan: Optional[SlicePlan] = None,
     cluster: Optional[Cluster] = None,
+    executor: str = "graph",
 ) -> ExecutionResult:
-    """Execute the pipeline portion of one iteration on the DES."""
+    """Execute the pipeline portion of one iteration on the DES.
+
+    ``executor`` selects the substrate: ``"graph"`` (default) runs the
+    compiled static-graph fast path (bit-identical to the event engine,
+    with an automatic fallback for schedules the compiler rejects);
+    ``"event"`` forces the per-op event loop — useful when stepping
+    through a run or comparing the two executors.
+    """
     if cluster is None:
         cluster = Cluster(profile.hardware)
     built = build_schedule(profile, partition, num_micro_batches, schedule, slice_plan)
     devices = cluster.pipeline_devices(partition.num_stages)
-    return execute(built, cluster, device_map=devices)
+    if executor == "graph":
+        return execute_fast(built, cluster, device_map=devices)
+    if executor == "event":
+        return Engine(built, cluster, device_map=devices).run()
+    raise ValueError(f"unknown executor {executor!r}")
 
 
 def _optimizer_seconds(profile: ModelProfile, partition: PartitionScheme) -> float:
@@ -103,11 +116,13 @@ def run_iteration(
     schedule: str = "1f1b",
     slice_plan: Optional[SlicePlan] = None,
     cluster: Optional[Cluster] = None,
+    executor: str = "graph",
 ) -> IterationResult:
     """Pipeline + gradient allreduce + optimizer step for one iteration."""
     execution = run_pipeline(
         profile, partition, num_micro_batches,
         schedule=schedule, slice_plan=slice_plan, cluster=cluster,
+        executor=executor,
     )
     params = stage_params(partition, profile)
     reduce_time = max(

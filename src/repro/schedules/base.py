@@ -26,6 +26,18 @@ from typing import Dict, List, Tuple
 Unit = Tuple[int, int]
 
 
+class ScheduleMutationError(RuntimeError):
+    """A schedule was mutated after an executor compiled it.
+
+    Both the event engine and the static-graph executor cache their
+    compiled form on the schedule object.  The cached structure encodes
+    the exact op sequence at compile time, so mutating ``programs`` (or
+    ``static_bytes``) afterwards would silently execute stale state —
+    executors detect the mutation via :meth:`Schedule.identity_signature`
+    and raise this instead.  Build a fresh :class:`Schedule` per variant.
+    """
+
+
 def full_units(num_micro_batches: int) -> List[Unit]:
     """The trivial unit sequence: every micro-batch whole."""
     if num_micro_batches <= 0:
@@ -150,6 +162,45 @@ class Schedule:
     @property
     def num_devices(self) -> int:
         return len(self.programs)
+
+    def identity_signature(self) -> Tuple:
+        """A cheap fingerprint of the exact op objects in every program.
+
+        Ops are frozen dataclasses, so a schedule can only change through
+        its ``programs`` lists (append/remove/replace) or ``static_bytes``
+        — both visible as a change of this signature.  Executors record it
+        at compile time and raise :class:`ScheduleMutationError` when a
+        later run sees a different one.  (Best-effort: a replacement op
+        that reuses the freed op's memory address is indistinguishable.)
+        """
+        return (
+            tuple(tuple(map(id, program)) for program in self.programs),
+            tuple(self.static_bytes),
+        )
+
+    def shape_signature(self) -> Tuple:
+        """The cost-free structure of the schedule.
+
+        Two schedules with equal shape signatures have identical op
+        sequences, labels, phases and communication matching — they may
+        differ only in durations and byte counts (the "cost vector").
+        The static-graph executor shares one compiled dependency DAG
+        across all schedules of a shape, re-extracting only the costs.
+        """
+        sig = []
+        for program in self.programs:
+            ops = []
+            for op in program:
+                if isinstance(op, ComputeOp):
+                    ops.append(("C", op.kind, op.unit, op.phase, op.chunk))
+                else:
+                    ops.append((
+                        "R" if op.rendezvous else "E",
+                        op.peer,
+                        tuple((t.tag, t.src, t.dst) for t in op.transfers),
+                    ))
+            sig.append(tuple(ops))
+        return tuple(sig)
 
     def compute_ops(self, device: int) -> List[ComputeOp]:
         return [op for op in self.programs[device] if isinstance(op, ComputeOp)]

@@ -1,6 +1,14 @@
 """Discrete-event simulator: the "real cluster" substrate of the reproduction."""
 
 from repro.sim.engine import DeadlockError, Engine, ExecutionResult, execute
+from repro.sim.graph_exec import (
+    CompiledGraph,
+    GraphCompileError,
+    compile_graph,
+    execute_batch,
+    execute_fast,
+    run_batch,
+)
 from repro.sim.timeline import TimelineEvent
 
 __all__ = [
@@ -8,5 +16,11 @@ __all__ = [
     "Engine",
     "ExecutionResult",
     "execute",
+    "CompiledGraph",
+    "GraphCompileError",
+    "compile_graph",
+    "execute_batch",
+    "execute_fast",
+    "run_batch",
     "TimelineEvent",
 ]

@@ -44,13 +44,18 @@ any observable result:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.hardware.cluster import Cluster
 from repro.hardware.comm import CommModel
-from repro.schedules.base import CommOp, ComputeOp, Schedule
-from repro.sim.timeline import TimelineEvent, busy_time, first_compute_start
+from repro.schedules.base import (
+    CommOp,
+    ComputeOp,
+    Schedule,
+    ScheduleMutationError,
+)
+from repro.sim.timeline import TimelineEvent
 
 #: compiled instruction opcodes (element 0 of every instruction tuple;
 #: element 1 is always the display label).
@@ -63,21 +68,62 @@ class DeadlockError(RuntimeError):
     """Raised when no device can advance but programs are unfinished."""
 
 
-@dataclass
 class ExecutionResult:
-    """Everything measured from one executed schedule."""
+    """Everything measured from one executed schedule.
 
-    schedule_name: str
-    iteration_time: float
-    peak_memory: List[float]
-    oom_devices: List[int]
-    num_devices: int
-    #: raw event tuples ``(device, category, label, start, end, phase)``;
-    #: use :attr:`events` for the materialised TimelineEvent view.
-    raw_events: List[tuple] = field(default_factory=list, repr=False)
-    _materialized: Optional[List[TimelineEvent]] = field(
-        default=None, repr=False, compare=False
+    Metrics (``busy_time``, ``bubble_fraction``, ``first_forward_start``)
+    read the raw event tuples ``(device, category, label, start, end,
+    phase)`` directly, so consuming them never forces
+    :class:`TimelineEvent` materialisation; ``.events`` still builds the
+    object view on first access for exporters and tests that want it.
+    The raw events themselves may be produced lazily (the static-graph
+    executor only walks its node arrays into tuples when asked).
+    """
+
+    __slots__ = (
+        "schedule_name", "iteration_time", "peak_memory", "oom_devices",
+        "num_devices", "_raw", "_raw_factory", "_materialized",
+        "_first_forward",
     )
+
+    def __init__(
+        self,
+        schedule_name: str,
+        iteration_time: float,
+        peak_memory: List[float],
+        oom_devices: List[int],
+        num_devices: int,
+        raw_events: Optional[List[tuple]] = None,
+        *,
+        raw_events_factory: Optional[Callable[[], List[tuple]]] = None,
+        first_forward_starts: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.schedule_name = schedule_name
+        self.iteration_time = iteration_time
+        self.peak_memory = peak_memory
+        self.oom_devices = oom_devices
+        self.num_devices = num_devices
+        self._raw = raw_events
+        self._raw_factory = raw_events_factory
+        self._materialized: Optional[List[TimelineEvent]] = None
+        self._first_forward = first_forward_starts
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult(schedule_name={self.schedule_name!r}, "
+            f"iteration_time={self.iteration_time!r}, "
+            f"peak_memory={self.peak_memory!r}, "
+            f"oom_devices={self.oom_devices!r}, "
+            f"num_devices={self.num_devices!r})"
+        )
+
+    @property
+    def raw_events(self) -> List[tuple]:
+        """Raw event tuples ``(device, category, label, start, end, phase)``."""
+        if self._raw is None:
+            factory = self._raw_factory
+            self._raw = factory() if factory is not None else []
+        return self._raw
 
     @property
     def events(self) -> List[TimelineEvent]:
@@ -91,7 +137,11 @@ class ExecutionResult:
         return bool(self.oom_devices)
 
     def busy_time(self, device: int) -> float:
-        return busy_time(self.events, device)
+        """Total compute-busy seconds of one device (from raw tuples)."""
+        return sum(
+            e[4] - e[3] for e in self.raw_events
+            if e[0] == device and (e[1] == "F" or e[1] == "B")
+        )
 
     def bubble_fraction(self, device: int) -> float:
         if self.iteration_time <= 0:
@@ -102,9 +152,15 @@ class ExecutionResult:
         """When ``device`` first begins forward compute (startup metric).
 
         ``float("inf")`` when the device never ran a forward pass (failed
-        or degenerate schedules) — see :func:`repro.sim.timeline.first_compute_start`.
+        or degenerate schedules), letting metric code report the
+        configuration as infeasible instead of crashing.
         """
-        return first_compute_start(self.events, device, "F")
+        if self._first_forward is not None:
+            return self._first_forward[device]
+        starts = [
+            e[3] for e in self.raw_events if e[0] == device and e[1] == "F"
+        ]
+        return min(starts) if starts else float("inf")
 
 
 @dataclass
@@ -119,46 +175,21 @@ class _DeviceState:
     waiting_tag: Optional[str] = None
 
 
-class Engine:
-    """Executes one schedule; construct per run (holds mutable state)."""
+class _Lowerer:
+    """Lowers schedule ops into flat instruction tuples.
+
+    Stateless apart from the cost model handles; shared by the event
+    engine and the static-graph executor so both consume the exact same
+    precomputed durations and link times (a prerequisite for their
+    bit-identical results).
+    """
 
     def __init__(
-        self,
-        schedule: Schedule,
-        cluster: Cluster,
-        *,
-        device_map: Optional[List[int]] = None,
-        check_symmetry: bool = True,
+        self, cluster: Cluster, device_map: List[int], comm: CommModel
     ) -> None:
-        self.schedule = schedule
         self.cluster = cluster
-        self.comm = CommModel(cluster.hw)
-        n = schedule.num_devices
-        if device_map is None:
-            device_map = list(range(n))
-        if len(device_map) != n:
-            raise ValueError("device_map must cover every schedule device")
-        for d in device_map:
-            cluster._check(d)
         self.device_map = device_map
-        if check_symmetry and not schedule.__dict__.get("_symmetry_checked"):
-            schedule.validate_comm_symmetry()
-            schedule.__dict__["_symmetry_checked"] = True
-        self._programs = self._compiled_programs()
-
-        self._states = [_DeviceState() for _ in range(n)]
-        self._raw_events: List[tuple] = []
-        #: rendezvous posts: (pair, tag_set) -> (device, ready_time)
-        self._posts: Dict[Tuple, Tuple[int, float]] = {}
-        #: eager deposits: tag -> arrival time
-        self._deposits: Dict[str, float] = {}
-        #: eager receivers parked on a missing deposit: tag -> devices
-        self._tag_waiters: Dict[str, List[int]] = {}
-        #: ready-queue scheduler state
-        self._ready: Deque[int] = deque()
-        self._enqueued: List[bool] = [False] * n
-
-    # -- comm timing -------------------------------------------------------
+        self.comm = comm
 
     def _direction_time(self, src: int, dst: int, num_bytes: float) -> float:
         if num_bytes <= 0:
@@ -176,28 +207,7 @@ class Engine:
             self._direction_time(op.peer, op.device, bwd),
         )
 
-    # -- program compilation ----------------------------------------------
-
-    def _compiled_programs(self) -> List[List[tuple]]:
-        """Lower every op to an instruction tuple, cached on the schedule.
-
-        The cache key is the device map; the cluster is compared by
-        identity (a different cluster object means different link times,
-        so the programs are lowered again).
-        """
-        cache = self.schedule.__dict__.setdefault("_compiled_cache", {})
-        key = tuple(self.device_map)
-        entry = cache.get(key)
-        if entry is not None and entry[0] is self.cluster:
-            return entry[1]
-        compiled = [
-            [self._compile_op(dev, op) for op in program]
-            for dev, program in enumerate(self.schedule.programs)
-        ]
-        cache[key] = (self.cluster, compiled)
-        return compiled
-
-    def _compile_op(self, dev: int, op: object) -> tuple:
+    def compile_op(self, dev: int, op: object) -> tuple:
         if isinstance(op, ComputeOp):
             return (
                 _COMPUTE, op.label(), op.duration, op.alloc_bytes,
@@ -222,6 +232,88 @@ class Engine:
         )
         latency = self.cluster.hw.link_latency if sends else 0.0
         return (_EAGER, label, recvs, sends, "wait" + label[4:], latency)
+
+
+def lower_programs(
+    schedule: Schedule,
+    cluster: Cluster,
+    device_map: List[int],
+    *,
+    comm: Optional[CommModel] = None,
+    check_symmetry: bool = True,
+) -> List[List[tuple]]:
+    """Lower every op to an instruction tuple, cached on the schedule.
+
+    The cache key is the device map; the cluster is compared by identity
+    (a different cluster object means different link times, so the
+    programs are lowered again).  Each cache entry remembers the
+    schedule's :meth:`~repro.schedules.base.Schedule.identity_signature`
+    at lowering time — a hit whose signature no longer matches means the
+    schedule object was mutated after compilation, which raises
+    :class:`~repro.schedules.base.ScheduleMutationError` instead of
+    silently executing the stale programs.
+    """
+    cache = schedule.__dict__.setdefault("_compiled_cache", {})
+    key = tuple(device_map)
+    entry = cache.get(key)
+    if entry is not None and entry[0] is cluster:
+        if schedule.identity_signature() != entry[1]:
+            raise ScheduleMutationError(
+                f"schedule {schedule.name!r} was mutated after its programs "
+                "were compiled for this device map; build a fresh Schedule "
+                "instead of editing one in place"
+            )
+        return entry[2]
+    if check_symmetry and not schedule.__dict__.get("_symmetry_checked"):
+        schedule.validate_comm_symmetry()
+        schedule.__dict__["_symmetry_checked"] = True
+    lowerer = _Lowerer(cluster, device_map, comm or CommModel(cluster.hw))
+    compiled = [
+        [lowerer.compile_op(dev, op) for op in program]
+        for dev, program in enumerate(schedule.programs)
+    ]
+    cache[key] = (cluster, schedule.identity_signature(), compiled)
+    return compiled
+
+
+class Engine:
+    """Executes one schedule; construct per run (holds mutable state)."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        cluster: Cluster,
+        *,
+        device_map: Optional[List[int]] = None,
+        check_symmetry: bool = True,
+    ) -> None:
+        self.schedule = schedule
+        self.cluster = cluster
+        self.comm = CommModel(cluster.hw)
+        n = schedule.num_devices
+        if device_map is None:
+            device_map = list(range(n))
+        if len(device_map) != n:
+            raise ValueError("device_map must cover every schedule device")
+        for d in device_map:
+            cluster._check(d)
+        self.device_map = device_map
+        self._programs = lower_programs(
+            schedule, cluster, device_map,
+            comm=self.comm, check_symmetry=check_symmetry,
+        )
+
+        self._states = [_DeviceState() for _ in range(n)]
+        self._raw_events: List[tuple] = []
+        #: rendezvous posts: (pair, tag_set) -> (device, ready_time)
+        self._posts: Dict[Tuple, Tuple[int, float]] = {}
+        #: eager deposits: tag -> arrival time
+        self._deposits: Dict[str, float] = {}
+        #: eager receivers parked on a missing deposit: tag -> devices
+        self._tag_waiters: Dict[str, List[int]] = {}
+        #: ready-queue scheduler state
+        self._ready: Deque[int] = deque()
+        self._enqueued: List[bool] = [False] * n
 
     # -- execution ---------------------------------------------------------
 

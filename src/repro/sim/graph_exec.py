@@ -1,0 +1,625 @@
+"""Compiled static-graph executor: the DES fast path.
+
+The event engine (:mod:`repro.sim.engine`) walks one Python op at a time.
+That is the right tool the *first* time a schedule runs — it detects
+deadlocks and produces a diagnosis — but planner sweeps and experiment
+grids execute thousands of structurally-identical schedules that differ
+only in their cost vectors.  This module gives arbitrary schedules the
+compile-once/evaluate-many treatment the analytic simulator already has
+(``PipelineSim`` / ``PipelineSimBatch``):
+
+* **Lowering.**  The engine's compiled instruction tuples (shared via
+  :func:`repro.sim.engine.lower_programs`, so both executors consume the
+  exact same precomputed floats) are lowered once more into a static
+  dependency DAG: per-device program-order edges, one merged node per
+  rendezvous pair, deposit edges from eager senders to their receivers,
+  and the sliced-warmup aggregation edges fall out of the same rule.
+
+* **Uniform recurrence.**  Every edge carries the weight ``w`` such that
+  the event engine would compute ``value(dst) ≥ value(src) + w`` with one
+  IEEE addition — a program edge carries its source op's own duration, a
+  deposit edge the wire time.  Node completion is then a longest path:
+  ``base[i] = max over edges (base[src] + w)``, ``end[i] = base[i] +
+  add[i]``.  Because each candidate costs exactly one addition and
+  ``max`` is value-commutative, the fixed point is bit-identical to the
+  event loop regardless of evaluation order.
+
+* **Level schedule.**  Nodes are renumbered by dependency level, so
+  evaluation is one ``take → add → maximum.reduceat`` numpy pass per
+  level — and evaluating K cost vectors over one structure just makes
+  every array ``(K, …)``, amortising the structure across a whole sweep
+  (the arbitrary-schedule analogue of ``PipelineSimBatch``).
+
+* **Structure cache.**  The costless DAG is cached process-wide keyed by
+  :meth:`Schedule.shape_signature`-equivalent lowered shape, so sweep
+  cells that differ only in model size / byte counts share one compiled
+  structure.  Per-schedule compiled graphs are cached on the schedule
+  object and guarded against post-compile mutation.
+
+* **Memory accounting.**  Activation stashes are replayed per device as
+  an interleaved alloc/release delta array: a sequential ``cumsum`` (the
+  same additions as the engine's ``held_bytes`` updates) plus a prefix
+  max over ``held + workspace``.
+
+The event engine remains the substrate for deadlock diagnosis (a cyclic
+or unmatched DAG raises :class:`GraphCompileError` and
+:func:`execute_fast` falls back, surfacing the engine's per-device
+``DeadlockError`` report) and for schedules with exotic communication
+the compiler rejects (reused deposit tags).  Timeline events are built
+lazily from the node arrays only when a caller asks for them; rendezvous
+event labels may name the opposite endpoint's op compared to the event
+engine (both engines pick one of the two mirror labels), every other
+tuple field is identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.schedules.base import Schedule, ScheduleMutationError
+from repro.sim.engine import (
+    _COMPUTE,
+    _EAGER,
+    _RENDEZVOUS,
+    Engine,
+    ExecutionResult,
+    lower_programs,
+)
+
+#: record opcodes inside per-device event-replay programs.
+_REC_COMPUTE = 0
+_REC_RENDEZVOUS = 1
+_REC_EAGER = 2
+
+#: structures kept in the process-wide cache (LRU beyond this).
+_STRUCTURE_CACHE_SIZE = 64
+
+
+class GraphCompileError(RuntimeError):
+    """The schedule cannot be lowered to an acyclic static graph.
+
+    Raised for dependency cycles (the static form of a deadlock),
+    unmatched rendezvous ops, and deposit tags that are reused or never
+    sent.  :func:`execute_fast` reacts by falling back to the event
+    engine, which either executes the schedule or raises
+    :class:`~repro.sim.engine.DeadlockError` with a per-device diagnosis.
+    """
+
+
+class _Walk:
+    """Everything one pass over the lowered programs produces.
+
+    The walk is a pure function of the lowered instructions, so two
+    schedules with equal shape signatures yield cost arrays aligned with
+    the same structure: node ids, edge order and recv-duration slots all
+    come out identical.
+    """
+
+    __slots__ = (
+        "sig", "node_add", "e_dst", "e_src", "e_w", "recv_durs",
+        "records", "first_f", "mem_deltas", "workspace", "mem_counts",
+    )
+
+    def __init__(self, num_devices: int) -> None:
+        self.node_add: List[float] = []
+        self.e_dst: List[int] = []
+        self.e_src: List[int] = []
+        self.e_w: List[float] = []
+        self.recv_durs: List[float] = []
+        self.records: List[List[list]] = [[] for _ in range(num_devices)]
+        self.first_f: List[int] = [-1] * num_devices
+        self.mem_deltas: List[float] = []
+        self.workspace: List[float] = []
+        self.mem_counts: List[int] = [0] * num_devices
+        self.sig: Tuple = ()
+
+
+def _walk_programs(lowered: List[List[tuple]]) -> _Walk:
+    """Lower instruction tuples into DAG nodes, edges and cost arrays."""
+    walk = _Walk(len(lowered))
+    node_add = walk.node_add
+    e_dst, e_src, e_w = walk.e_dst, walk.e_src, walk.e_w
+    recv_durs = walk.recv_durs
+    #: unmatched rendezvous posts: key -> deque[(device, node)]
+    pending_rzv: Dict[tuple, deque] = {}
+    #: eager deposits: tag -> (sender node, wire time)
+    send_map: Dict[str, Tuple[int, float]] = {}
+    #: eager receives in walk order: (recv node, tag, recv_list to patch)
+    recv_reqs: List[Tuple[int, str, list]] = []
+    consumed: set = set()
+    sig_devices: List[tuple] = []
+
+    for dev, program in enumerate(lowered):
+        records = walk.records[dev]
+        sig_ops: List[tuple] = []
+        prev = -1
+        prev_w = 0.0
+        for instr in program:
+            code = instr[0]
+            if code == _COMPUTE:
+                _, label, duration, alloc, free, ws, kind, phase = instr
+                nid = len(node_add)
+                node_add.append(duration)
+                if prev >= 0:
+                    e_dst.append(nid)
+                    e_src.append(prev)
+                    e_w.append(prev_w)
+                records.append([_REC_COMPUTE, nid, label, kind, phase])
+                walk.mem_deltas.append(alloc)
+                walk.mem_deltas.append(-free)
+                walk.workspace.append(ws)
+                walk.mem_counts[dev] += 1
+                if kind == "F" and walk.first_f[dev] < 0:
+                    walk.first_f[dev] = nid
+                prev, prev_w = nid, duration
+                sig_ops.append((_COMPUTE, label, kind, phase))
+            elif code == _RENDEZVOUS:
+                _, label, key, _peer, exch = instr
+                queue = pending_rzv.get(key)
+                if queue is not None and queue[0][0] != dev:
+                    _odev, nid = queue.popleft()
+                    if not queue:
+                        del pending_rzv[key]
+                else:
+                    nid = len(node_add)
+                    node_add.append(exch)
+                    pending_rzv.setdefault(key, deque()).append((dev, nid))
+                if prev >= 0:
+                    e_dst.append(nid)
+                    e_src.append(prev)
+                    e_w.append(prev_w)
+                records.append([_REC_RENDEZVOUS, nid, label])
+                prev, prev_w = nid, exch
+                sig_ops.append(
+                    (_RENDEZVOUS, label, key[0], tuple(sorted(key[1])))
+                )
+            else:  # _EAGER
+                _, label, recvs, sends, wait_label, latency = instr
+                nid = len(node_add)
+                node_add.append(latency)
+                if prev >= 0:
+                    e_dst.append(nid)
+                    e_src.append(prev)
+                    e_w.append(prev_w)
+                recv_list: list = []
+                for tag, rdur in recvs:
+                    recv_durs.append(rdur)
+                    recv_reqs.append((nid, tag, recv_list))
+                for tag, sdur in sends:
+                    if tag in send_map:
+                        raise GraphCompileError(
+                            f"deposit tag {tag!r} is sent more than once; "
+                            "the static graph cannot order the reuse"
+                        )
+                    send_map[tag] = (nid, sdur)
+                records.append(
+                    [_REC_EAGER, nid, label, wait_label, recv_list]
+                )
+                prev, prev_w = nid, latency
+                sig_ops.append((
+                    _EAGER, label,
+                    tuple(t for t, _ in recvs), tuple(t for t, _ in sends),
+                ))
+        sig_devices.append(tuple(sig_ops))
+
+    if pending_rzv:
+        key = next(iter(pending_rzv))
+        raise GraphCompileError(
+            f"rendezvous op with tags {sorted(key[1])} between device pair "
+            f"{key[0]} has no matching peer op"
+        )
+    for ridx, (rnid, tag, recv_list) in enumerate(recv_reqs):
+        sender = send_map.get(tag)
+        if sender is None:
+            raise GraphCompileError(
+                f"eager receive of tag {tag!r} has no matching send"
+            )
+        if tag in consumed:
+            raise GraphCompileError(
+                f"deposit tag {tag!r} is received more than once; "
+                "the static graph cannot order the reuse"
+            )
+        consumed.add(tag)
+        snid, sdur = sender
+        widx = len(e_w)
+        e_dst.append(rnid)
+        e_src.append(snid)
+        e_w.append(sdur)
+        recv_list.append((snid, widx, ridx))
+
+    walk.sig = tuple(sig_devices)
+    return walk
+
+
+class GraphStructure:
+    """The costless compiled DAG: levels, edge order and replay records."""
+
+    __slots__ = (
+        "num_nodes", "num_edges", "levels", "edge_perm", "node_order",
+        "records", "first_f", "mem_offsets", "sig",
+    )
+
+    def __init__(self, walk: _Walk) -> None:
+        num_nodes = len(walk.node_add)
+        num_edges = len(walk.e_dst)
+        e_dst = walk.e_dst
+        e_src = walk.e_src
+
+        # Dependency levels by Kahn's algorithm with longest-path depth.
+        indeg = [0] * num_nodes
+        out: List[List[int]] = [[] for _ in range(num_nodes)]
+        for i in range(num_edges):
+            out[e_src[i]].append(e_dst[i])
+            indeg[e_dst[i]] += 1
+        level = [0] * num_nodes
+        ready = deque(i for i in range(num_nodes) if indeg[i] == 0)
+        seen = 0
+        while ready:
+            u = ready.popleft()
+            seen += 1
+            depth = level[u] + 1
+            for v in out[u]:
+                if level[v] < depth:
+                    level[v] = depth
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if seen != num_nodes:
+            raise GraphCompileError(
+                "cyclic dependency graph — this schedule deadlocks; "
+                "run the event engine for a per-device diagnosis"
+            )
+
+        # Renumber nodes by (level, walk order): arrays become level-major.
+        level_arr = np.asarray(level, dtype=np.intp)
+        node_order = np.argsort(level_arr, kind="stable")
+        new_of_old = np.empty(num_nodes, dtype=np.intp)
+        new_of_old[node_order] = np.arange(num_nodes, dtype=np.intp)
+
+        levels: List[tuple] = []
+        if num_edges:
+            dst_new = new_of_old[np.asarray(e_dst, dtype=np.intp)]
+            src_new = new_of_old[np.asarray(e_src, dtype=np.intp)]
+            edge_perm = np.argsort(dst_new, kind="stable")
+            dst_sorted = dst_new[edge_perm]
+            src_sorted = src_new[edge_perm]
+            num_levels = int(level_arr.max()) + 1
+            counts = np.bincount(level_arr, minlength=num_levels)
+            starts = np.concatenate(([0], np.cumsum(counts)))
+            for lvl in range(1, num_levels):
+                lo, hi = int(starts[lvl]), int(starts[lvl + 1])
+                e0 = int(np.searchsorted(dst_sorted, lo))
+                e1 = int(np.searchsorted(dst_sorted, hi))
+                seg = dst_sorted[e0:e1]
+                off = np.concatenate(
+                    ([0], np.flatnonzero(np.diff(seg)) + 1)
+                ).astype(np.intp)
+                if len(off) != hi - lo:
+                    raise GraphCompileError(
+                        "node above level 0 without incoming edges"
+                    )
+                levels.append(
+                    (lo, hi, e0, e1, src_sorted[e0:e1].copy(), off)
+                )
+        else:
+            edge_perm = np.empty(0, dtype=np.intp)
+
+        # Rewrite replay records and metric indices to the new numbering.
+        remap = new_of_old
+        records: List[tuple] = []
+        for dev_records in walk.records:
+            out_records = []
+            for rec in dev_records:
+                code, nid = rec[0], int(remap[rec[1]])
+                if code == _REC_EAGER:
+                    recv_list = tuple(
+                        (int(remap[s]), w, r) for s, w, r in rec[4]
+                    )
+                    out_records.append(
+                        (code, nid, rec[2], rec[3], recv_list)
+                    )
+                else:
+                    out_records.append((code, nid, *rec[2:]))
+            records.append(tuple(out_records))
+
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.levels = levels
+        self.edge_perm = edge_perm
+        self.node_order = node_order
+        self.records = tuple(records)
+        self.first_f = [
+            int(new_of_old[f]) if f >= 0 else -1 for f in walk.first_f
+        ]
+        self.mem_offsets = np.concatenate(
+            ([0], np.cumsum(np.asarray(walk.mem_counts, dtype=np.intp)))
+        )
+        self.sig = walk.sig
+
+
+#: process-wide structure cache keyed by lowered shape signature.
+_structures: "OrderedDict[tuple, GraphStructure]" = OrderedDict()
+
+
+def _structure_for(walk: _Walk) -> GraphStructure:
+    structure = _structures.get(walk.sig)
+    if structure is not None:
+        _structures.move_to_end(walk.sig)
+        return structure
+    structure = GraphStructure(walk)
+    _structures[walk.sig] = structure
+    while len(_structures) > _STRUCTURE_CACHE_SIZE:
+        _structures.popitem(last=False)
+    return structure
+
+
+def structure_cache_info() -> Tuple[int, int]:
+    """(structures cached, total nodes across them) — for tests/benches."""
+    return len(_structures), sum(s.num_nodes for s in _structures.values())
+
+
+class CompiledGraph:
+    """One schedule lowered onto a (possibly shared) graph structure."""
+
+    __slots__ = (
+        "structure", "schedule_name", "num_devices", "static_bytes",
+        "capacity", "node_add", "edge_w_walk", "recv_durs", "node_add_lvl",
+        "edge_w_lvl", "mem_deltas", "workspace",
+    )
+
+    def __init__(
+        self,
+        structure: GraphStructure,
+        walk: _Walk,
+        schedule_name: str,
+        static_bytes: Sequence[float],
+        capacity: float,
+    ) -> None:
+        self.structure = structure
+        self.schedule_name = schedule_name
+        self.num_devices = len(structure.records)
+        self.static_bytes = list(static_bytes)
+        self.capacity = capacity
+        self.node_add = np.asarray(walk.node_add, dtype=np.float64)
+        self.edge_w_walk = np.asarray(walk.e_w, dtype=np.float64)
+        self.recv_durs = np.asarray(walk.recv_durs, dtype=np.float64)
+        self.node_add_lvl = self.node_add[structure.node_order]
+        self.edge_w_lvl = self.edge_w_walk[structure.edge_perm]
+        self.mem_deltas = np.asarray(walk.mem_deltas, dtype=np.float64)
+        self.workspace = np.asarray(walk.workspace, dtype=np.float64)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _relax(self) -> np.ndarray:
+        """Longest-path node start times (level-major numbering)."""
+        base = np.zeros(self.structure.num_nodes)
+        edge_w = self.edge_w_lvl
+        for lo, hi, e0, e1, src, off in self.structure.levels:
+            cand = base[src]
+            cand += edge_w[e0:e1]
+            base[lo:hi] = np.maximum.reduceat(cand, off)
+        return base
+
+    def _device_peaks(self) -> List[float]:
+        """Peak bytes per device: alloc/release cumsum + prefix max."""
+        offsets = self.structure.mem_offsets
+        peaks = []
+        for dev in range(self.num_devices):
+            c0, c1 = int(offsets[dev]), int(offsets[dev + 1])
+            if c1 == c0:
+                peak = 0.0
+            else:
+                held = np.cumsum(self.mem_deltas[2 * c0:2 * c1])[0::2]
+                held += self.workspace[c0:c1]
+                peak = max(0.0, float(held.max()))
+            peaks.append(self.static_bytes[dev] + peak)
+        return peaks
+
+    def run(self) -> ExecutionResult:
+        """Evaluate once; bit-identical to ``Engine(schedule, …).run()``."""
+        base = self._relax()
+        end = base + self.node_add_lvl
+        return self._result(base, end)
+
+    def _result(self, base: np.ndarray, end: np.ndarray) -> ExecutionResult:
+        iteration_time = float(end.max()) if self.structure.num_nodes else 0.0
+        peaks = self._device_peaks()
+        ooms = [
+            d for d in range(self.num_devices) if peaks[d] > self.capacity
+        ]
+        first_forward = [
+            float(base[f]) if f >= 0 else float("inf")
+            for f in self.structure.first_f
+        ]
+        return ExecutionResult(
+            schedule_name=self.schedule_name,
+            iteration_time=iteration_time,
+            peak_memory=peaks,
+            oom_devices=ooms,
+            num_devices=self.num_devices,
+            raw_events_factory=lambda: self._build_events(base, end),
+            first_forward_starts=first_forward,
+        )
+
+    # -- lazy timeline -----------------------------------------------------
+
+    def _build_events(self, base: np.ndarray, end: np.ndarray) -> List[tuple]:
+        """Replay the per-device programs into raw event tuples.
+
+        Events come out grouped by device in program order (the event
+        engine interleaves devices); per-device order — the only order
+        metrics depend on — is identical.
+        """
+        events: List[tuple] = []
+        edge_w = self.edge_w_walk
+        recv_durs = self.recv_durs
+        for dev, records in enumerate(self.structure.records):
+            prev_end = 0.0
+            for rec in records:
+                code, nid = rec[0], rec[1]
+                if code == _REC_COMPUTE:
+                    start = float(base[nid])
+                    stop = float(end[nid])
+                    events.append((dev, rec[3], rec[2], start, stop, rec[4]))
+                elif code == _REC_RENDEZVOUS:
+                    events.append(
+                        (dev, "comm", rec[2], float(base[nid]),
+                         float(end[nid]), "")
+                    )
+                    stop = float(end[nid])
+                else:
+                    start = prev_end
+                    clock = float(base[nid])
+                    stop = float(end[nid])
+                    comm_begin = start
+                    recv_list = rec[4]
+                    if recv_list and clock > start:
+                        comm_begin = max(start, min(
+                            float(base[s] + edge_w[w]) - float(recv_durs[r])
+                            for s, w, r in recv_list
+                        ))
+                        if comm_begin > start:
+                            events.append(
+                                (dev, "idle", rec[3], start, comm_begin, "")
+                            )
+                    events.append((dev, "comm", rec[2], comm_begin, stop, ""))
+                prev_end = stop
+        return events
+
+
+def _check_device_map(
+    schedule: Schedule, cluster: Cluster, device_map: Optional[List[int]]
+) -> List[int]:
+    n = schedule.num_devices
+    if device_map is None:
+        device_map = list(range(n))
+    if len(device_map) != n:
+        raise ValueError("device_map must cover every schedule device")
+    for d in device_map:
+        cluster._check(d)
+    return list(device_map)
+
+
+def compile_graph(
+    schedule: Schedule,
+    cluster: Cluster,
+    *,
+    device_map: Optional[List[int]] = None,
+) -> CompiledGraph:
+    """Compile (or fetch the cached) static graph for one schedule.
+
+    The result is cached on the schedule object keyed by device map and
+    guarded by cluster identity and the schedule's identity signature —
+    mutating the schedule afterwards raises
+    :class:`~repro.schedules.base.ScheduleMutationError` on the next
+    compile/run instead of silently using the stale graph.
+    """
+    device_map = _check_device_map(schedule, cluster, device_map)
+    key = tuple(device_map)
+    cache = schedule.__dict__.setdefault("_graph_cache", {})
+    entry = cache.get(key)
+    if entry is not None and entry[0] is cluster:
+        if schedule.identity_signature() != entry[1]:
+            raise ScheduleMutationError(
+                f"schedule {schedule.name!r} was mutated after its static "
+                "graph was compiled; build a fresh Schedule instead of "
+                "editing one in place"
+            )
+        return entry[2]
+    lowered = lower_programs(schedule, cluster, device_map)
+    walk = _walk_programs(lowered)
+    structure = _structure_for(walk)
+    graph = CompiledGraph(
+        structure, walk, schedule.name, schedule.static_bytes,
+        cluster.hw.gpu_memory,
+    )
+    cache[key] = (cluster, schedule.identity_signature(), graph)
+    return graph
+
+
+def execute_fast(
+    schedule: Schedule,
+    cluster: Cluster,
+    *,
+    device_map: Optional[List[int]] = None,
+) -> ExecutionResult:
+    """Execute via the compiled graph, event engine as the fallback.
+
+    Schedules the compiler rejects (cycles — i.e. deadlocks —, unmatched
+    or reused communication) run on the event engine instead, which
+    raises :class:`~repro.sim.engine.DeadlockError` with a per-device
+    diagnosis for the genuine deadlocks and executes the rest.
+    """
+    try:
+        graph = compile_graph(schedule, cluster, device_map=device_map)
+    except GraphCompileError:
+        return Engine(schedule, cluster, device_map=device_map).run()
+    return graph.run()
+
+
+def run_batch(graphs: Sequence[CompiledGraph]) -> List[ExecutionResult]:
+    """Evaluate K compiled graphs sharing one structure in a single pass.
+
+    All graphs must share the same :class:`GraphStructure` (same shape
+    signature).  The level relaxation, final ends and memory replay run
+    on ``(K, …)`` arrays, amortising the per-level numpy overhead across
+    the whole batch — row ``k`` is bit-identical to ``graphs[k].run()``.
+    """
+    if not graphs:
+        return []
+    structure = graphs[0].structure
+    for g in graphs[1:]:
+        if g.structure is not structure:
+            raise ValueError(
+                "run_batch needs graphs sharing one structure; "
+                "group by CompiledGraph.structure first (execute_batch "
+                "does this automatically)"
+            )
+    if len(graphs) == 1:
+        return [graphs[0].run()]
+    k = len(graphs)
+    edge_w = np.stack([g.edge_w_lvl for g in graphs])
+    node_add = np.stack([g.node_add_lvl for g in graphs])
+    base = np.zeros((k, structure.num_nodes))
+    for lo, hi, e0, e1, src, off in structure.levels:
+        cand = base[:, src]
+        cand += edge_w[:, e0:e1]
+        base[:, lo:hi] = np.maximum.reduceat(cand, off, axis=1)
+    end = base + node_add
+    return [g._result(base[i], end[i]) for i, g in enumerate(graphs)]
+
+
+def execute_batch(
+    schedules: Sequence[Schedule],
+    cluster: Cluster,
+    *,
+    device_map: Optional[List[int]] = None,
+) -> List[ExecutionResult]:
+    """Execute many schedules, batching the ones that share a structure.
+
+    The sweep entry point: cells that differ only in cost vectors (same
+    depth / micro-batch count / schedule family, different model sizes or
+    partitions) compile onto one cached structure and are evaluated as a
+    single batched relaxation.  Schedules the compiler rejects fall back
+    to the event engine individually.  Results come back in input order.
+    """
+    results: List[Optional[ExecutionResult]] = [None] * len(schedules)
+    groups: Dict[int, List[Tuple[int, CompiledGraph]]] = {}
+    for i, schedule in enumerate(schedules):
+        try:
+            graph = compile_graph(schedule, cluster, device_map=device_map)
+        except GraphCompileError:
+            results[i] = Engine(
+                schedule, cluster, device_map=device_map
+            ).run()
+            continue
+        groups.setdefault(id(graph.structure), []).append((i, graph))
+    for members in groups.values():
+        evaluated = run_batch([g for _, g in members])
+        for (i, _g), result in zip(members, evaluated):
+            results[i] = result
+    return results  # type: ignore[return-value]

@@ -4,13 +4,18 @@ Produces a self-contained SVG (no external assets) with one lane per
 device: forward compute in green, backward in blue, communication in
 amber.  Useful for papers/READMEs where the ASCII chart is too coarse and
 a Chrome trace is too heavy.
+
+Consumes the engine's raw event tuples directly (pass
+``result.raw_events``), so rendering a large timeline never materialises
+:class:`TimelineEvent` objects; iterables of the object form are still
+accepted.
 """
 
 from __future__ import annotations
 
 from typing import IO, Iterable, List, Union
 
-from repro.sim.timeline import TimelineEvent
+from repro.sim.timeline import as_raw_events
 
 _FILL = {"F": "#4c9f70", "B": "#4a7fb5", "comm": "#d9a441", "idle": "#d8d8d4"}
 
@@ -29,17 +34,17 @@ def _esc(text: str) -> str:
 
 
 def timeline_to_svg(
-    events: Iterable[TimelineEvent],
+    events: Iterable[object],
     num_devices: int,
     *,
     width: int = 960,
     title: str = "pipeline timeline",
 ) -> str:
     """Build the SVG document for a timeline as a string."""
-    evs = sorted(events, key=lambda e: (e.device, e.start))
+    evs = sorted(as_raw_events(events), key=lambda e: (e[0], e[3]))
     if num_devices <= 0:
         raise ValueError("num_devices must be positive")
-    horizon = max((e.end for e in evs), default=0.0)
+    horizon = max((e[4] for e in evs), default=0.0)
     chart_w = width - _MARGIN_LEFT - 8
     height = (
         _MARGIN_TOP + num_devices * (_LANE_HEIGHT + _LANE_GAP)
@@ -66,19 +71,19 @@ def timeline_to_svg(
             f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{chart_w}" '
             f'height="{_LANE_HEIGHT}" fill="#f2f2f0"/>'
         )
-    for e in evs:
-        y = _MARGIN_TOP + e.device * (_LANE_HEIGHT + _LANE_GAP)
-        x0, x1 = x(e.start), x(e.end)
+    for device, category, label, start, end, _phase in evs:
+        y = _MARGIN_TOP + device * (_LANE_HEIGHT + _LANE_GAP)
+        x0, x1 = x(start), x(end)
         w = max(x1 - x0, 0.5)
-        fill = _FILL.get(e.category, "#999999")
-        thin = e.category in ("comm", "idle")
+        fill = _FILL.get(category, "#999999")
+        thin = category in ("comm", "idle")
         h = _LANE_HEIGHT if not thin else _LANE_HEIGHT * 0.45
         y0 = y if not thin else y + _LANE_HEIGHT * 0.55
         parts.append(
             f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{w:.2f}" '
             f'height="{h:.2f}" fill="{fill}" stroke="#ffffff" '
-            f'stroke-width="0.3"><title>{_esc(e.label)} '
-            f'[{e.start * 1e3:.2f}, {e.end * 1e3:.2f}] ms</title></rect>'
+            f'stroke-width="0.3"><title>{_esc(label)} '
+            f'[{start * 1e3:.2f}, {end * 1e3:.2f}] ms</title></rect>'
         )
     axis_y = height - _MARGIN_BOTTOM + 12
     parts.append(
@@ -92,7 +97,7 @@ def timeline_to_svg(
 
 
 def export_svg(
-    events: Iterable[TimelineEvent],
+    events: Iterable[object],
     num_devices: int,
     destination: Union[str, IO[str]],
     **kwargs,

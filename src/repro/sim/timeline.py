@@ -26,6 +26,28 @@ class TimelineEvent:
         return self.end - self.start
 
 
+#: The tuple layout the engine and graph executor record natively:
+#: ``(device, category, label, start, end, phase)``.
+RawEvent = Tuple[int, str, str, float, float, str]
+
+
+def as_raw_events(events: Iterable[object]) -> List[RawEvent]:
+    """Normalise a mixed event iterable to raw tuples.
+
+    Exporters and metrics operate on raw tuples so that consuming a large
+    timeline never forces :class:`TimelineEvent` materialisation; this
+    shim keeps them accepting the object form (tests, hand-built
+    timelines) as well.
+    """
+    out: List[RawEvent] = []
+    for e in events:
+        if isinstance(e, tuple):
+            out.append(e)
+        else:
+            out.append((e.device, e.category, e.label, e.start, e.end, e.phase))
+    return out
+
+
 def device_events(
     events: Iterable[TimelineEvent], device: int, category: Optional[str] = None
 ) -> List[TimelineEvent]:

@@ -6,6 +6,11 @@ production way to inspect why a partition scheme bubbles.
 
 Format reference: the "Trace Event Format" JSON array of complete events
 (``ph: "X"``), timestamps in microseconds.
+
+The exporter consumes the engine's raw event tuples directly (via
+``ExecutionResult.raw_events``), so tracing a large timeline never
+materialises :class:`TimelineEvent` objects; iterables of the object
+form are still accepted.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import json
 from typing import IO, Iterable, List, Optional, Union
 
 from repro.sim.engine import ExecutionResult
-from repro.sim.timeline import TimelineEvent
+from repro.sim.timeline import as_raw_events
 
 #: category -> Chrome trace colour name.
 _COLOURS = {
@@ -26,36 +31,37 @@ _COLOURS = {
 
 
 def timeline_to_trace_events(
-    events: Iterable[TimelineEvent],
+    events: Iterable[object],
     *,
     pid: int = 1,
     process_name: str = "pipeline",
 ) -> List[dict]:
-    """Convert timeline events to a list of Chrome trace-event dicts."""
+    """Convert raw event tuples (or TimelineEvents) to trace-event dicts."""
+    evs = as_raw_events(events)
     out: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": pid,
         "args": {"name": process_name},
     }]
     seen_devices = set()
-    for e in events:
-        if e.device not in seen_devices:
-            seen_devices.add(e.device)
+    for device, _cat, _label, _start, _end, _phase in evs:
+        if device not in seen_devices:
+            seen_devices.add(device)
             out.append({
                 "name": "thread_name", "ph": "M", "pid": pid,
-                "tid": e.device, "args": {"name": f"stage {e.device}"},
+                "tid": device, "args": {"name": f"stage {device}"},
             })
-    for e in events:
+    for device, category, label, start, end, phase in evs:
         record = {
-            "name": e.label,
-            "cat": e.category,
+            "name": label,
+            "cat": category,
             "ph": "X",
             "pid": pid,
-            "tid": e.device,
-            "ts": e.start * 1e6,
-            "dur": e.duration * 1e6,
-            "args": {"phase": e.phase} if e.phase else {},
+            "tid": device,
+            "ts": start * 1e6,
+            "dur": (end - start) * 1e6,
+            "args": {"phase": phase} if phase else {},
         }
-        colour = _COLOURS.get(e.category)
+        colour = _COLOURS.get(category)
         if colour:
             record["cname"] = colour
         out.append(record)
@@ -74,7 +80,7 @@ def export_chrome_trace(
     path or an open text file.
     """
     records = timeline_to_trace_events(
-        result.events,
+        result.raw_events,
         process_name=process_name or result.schedule_name,
     )
     payload = {"traceEvents": records, "displayTimeUnit": "ms"}
