@@ -1,25 +1,47 @@
 """AutoPipe core: the paper's Planner (simulator + partitioner) and Slicer."""
 
-from repro.core.analytic_sim import PipelineSim, SimResult, simulate_partition
+from repro.core.analytic_sim import (
+    PipelineSim,
+    PipelineSimBatch,
+    PrefixState,
+    SimResult,
+    SuffixSimBatch,
+    simulate_partition,
+)
 from repro.core.autopipe import AutoPipeSolution, autopipe_plan
 from repro.core.balance_dp import balanced_partition, min_max_partition
+from repro.core.exhaustive import ExhaustiveResult, exhaustive_partition
 from repro.core.partition import PartitionScheme, StageTimes, stage_times
-from repro.core.planner import PlannerResult, plan_partition
+from repro.core.planner import (
+    PlannerResult,
+    SimCache,
+    default_sim_cache,
+    plan_partition,
+)
 from repro.core.slicer import SlicePlan, solve_slice_count
+from repro.core.strategy import autopipe_config
 
 __all__ = [
     "PipelineSim",
+    "PipelineSimBatch",
+    "PrefixState",
     "SimResult",
+    "SuffixSimBatch",
     "simulate_partition",
     "AutoPipeSolution",
     "autopipe_plan",
     "balanced_partition",
     "min_max_partition",
+    "ExhaustiveResult",
+    "exhaustive_partition",
     "PartitionScheme",
     "StageTimes",
     "stage_times",
     "PlannerResult",
+    "SimCache",
+    "default_sim_cache",
     "plan_partition",
     "SlicePlan",
     "solve_slice_count",
+    "autopipe_config",
 ]

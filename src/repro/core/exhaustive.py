@@ -26,6 +26,32 @@ lexicographic cut order achieving the minimum iteration time):
   returned partition and iteration time match the brute force exactly
   (property-tested in ``tests/core/test_search_properties.py``).
 
+``incremental=True`` (default, with ``prune=True``) keeps the same
+bounds and the same prune decisions but restructures the descent around
+the simulator's prefix-reuse API:
+
+* every bound a DFS node can ever need is a pure function of
+  ``(s, pos, size)``, so per-``(s, pos)`` **bound tables** are built once
+  and the hot loop reduces to two list reads and compares per child
+  (the tables hold the identical floats the per-node arithmetic would
+  produce, so prune decisions are bitwise the same);
+* a **dominance memo** prunes a subtree outright when an
+  already-expanded node at the same ``(pos)`` had the identical
+  per-stage time tuples: the earlier twin (lexicographically smaller,
+  because the DFS enumerates sizes in increasing order) either offered
+  or provably bound-pruned every leaf the new subtree could contribute;
+* surviving leaves share the stage-time prefix fixed by the partial
+  assignment; chunk flushes go through
+  :class:`~repro.core.analytic_sim.SuffixSimBatch` over cached
+  :class:`~repro.core.analytic_sim.PrefixState` checkpoint chains (cut
+  ``p - 1``), so the batched relaxation skips every level of the
+  checkpointed free lattice.
+
+All three are exact: the returned partition and iteration time still
+match the brute force bit for bit (property-tested with the memo
+enabled), and ``suffix_sims`` / ``dominance_pruned`` report how much
+work the incremental path avoided.
+
 A shared :class:`~repro.core.planner.SimCache` can be threaded through:
 stage-time vectors the planner already simulated in the same process are
 harvested from the cache instead of re-simulated, and the hit count is
@@ -35,16 +61,24 @@ reported on the result.
 from __future__ import annotations
 
 import itertools
+import math
 import time as _time
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.analytic_sim import PipelineSim, PipelineSimBatch, SimResult
+from repro.core.analytic_sim import (
+    PipelineSim,
+    PipelineSimBatch,
+    PrefixState,
+    SimResult,
+    SuffixSimBatch,
+)
 from repro.core.balance_dp import min_max_partition
 from repro.core.partition import PartitionScheme, StageTimes
-from repro.core.planner import SimCache
+from repro.core.planner import SimCache, plan_partition
 from repro.profiling.modelconfig import ModelProfile
 
 #: relative slack on the pruning test: a subtree is discarded only when
@@ -55,6 +89,26 @@ _PRUNE_SLACK = 1.0 + 1e-9
 
 #: candidates buffered between vectorised evaluation passes.
 _DEFAULT_CHUNK = 1024
+
+#: prefix-checkpoint chains kept alive during one incremental search;
+#: on overflow the memo is dropped wholesale (correctness-free: chains
+#: are a pure cache and are rebuilt on demand).
+_CHAIN_CAP = 65536
+
+#: dominance-memo entries kept during one incremental search; beyond the
+#: cap new nodes are simply no longer memoised (pruning less is exact).
+_DOMINANCE_CAP = 1_000_000
+
+#: minimum rows sharing one cut prefix before a flush builds a
+#: checkpoint chain for them; sparser groups are evaluated through the
+#: shared cut-0 state (one scalar ``extend`` costs more than the
+#: level-skip saves on a handful of rows).
+_CHAIN_MIN_GROUP = 8
+
+#: search-space size from which the planner warm start pays for itself
+#: (the planner runs a few dozen scalar simulations; below this the
+#: whole search often costs less than that).
+_WARM_START_MIN_SPACE = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -70,6 +124,14 @@ class ExhaustiveResult:
     space: int
     #: candidates served from the shared :class:`SimCache`.
     cache_hits: int = 0
+    #: candidates evaluated through the prefix-checkpointed suffix batch
+    #: (each one is a full simulation *avoided* — only the suffix
+    #: wavefront was relaxed).
+    suffix_sims: int = 0
+    #: candidates eliminated by the dominance memo (a subset of
+    #: :attr:`pruned`, attributed to twin-subtree detection rather than
+    #: the lower bounds).
+    dominance_pruned: int = 0
 
     @property
     def iteration_time(self) -> float:
@@ -114,13 +176,18 @@ class _SearchState:
     any evaluation order that covers the same candidates.
     """
 
-    __slots__ = ("best_time", "best_sizes", "evaluations", "cache_hits")
+    __slots__ = (
+        "best_time", "best_sizes", "evaluations", "cache_hits",
+        "suffix_sims", "dominance_pruned",
+    )
 
     def __init__(self) -> None:
         self.best_time = float("inf")
         self.best_sizes: Optional[Tuple[int, ...]] = None
         self.evaluations = 0
         self.cache_hits = 0
+        self.suffix_sims = 0
+        self.dominance_pruned = 0
 
     def offer(self, sizes: Tuple[int, ...], t: float) -> None:
         if t < self.best_time or (
@@ -181,6 +248,7 @@ def _search_pruned(
     sim_cache: Optional[SimCache],
     state: _SearchState,
     chunk_size: int,
+    prune_slack: float,
 ) -> None:
     """Branch-and-bound over cut positions with batched leaf evaluation.
 
@@ -321,7 +389,7 @@ def _search_pruned(
                 base_rt + tail(s, f_sum, b_sum),
                 floor,
             )
-            if lb > state.best_time * _PRUNE_SLACK:
+            if lb > state.best_time * prune_slack:
                 return
             buffer.append(
                 (sizes + (n - pos,), f_stages + (f_sum,), b_stages + (b_sum,))
@@ -342,7 +410,7 @@ def _search_pruned(
                 base + m * (f_sum + b_sum),
                 base_rt + tail(s, f_sum, b_sum),
             )
-            if new_fixed > state.best_time * _PRUNE_SLACK:
+            if new_fixed > state.best_time * prune_slack:
                 # Both fixed-stage bounds grow with the stage, so every
                 # larger size for this stage is pruned too.
                 break
@@ -354,12 +422,389 @@ def _search_pruned(
                 rem_bound = max(
                     rem_bound, base_rt + (m - rem) * minmax[rem][pos2]
                 )
-            if max(new_fixed, rem_bound, floor) > state.best_time * _PRUNE_SLACK:
+            if max(new_fixed, rem_bound, floor) > state.best_time * prune_slack:
                 continue
             descend(
                 s + 1, pos2, sizes + (size,),
                 f_stages + (f_sum,), b_stages + (b_sum,), new_fixed,
             )
+
+    descend(0, 0, (), (), (), 0.0)
+    flush()
+
+
+def _search_incremental(
+    fwd: Sequence[float],
+    bwd: Sequence[float],
+    comm: float,
+    num_stages: int,
+    num_micro_batches: int,
+    comm_mode: str,
+    sim_cache: Optional[SimCache],
+    state: _SearchState,
+    chunk_size: int,
+    prune_slack: float,
+    extra_seeds: Sequence[Tuple[int, ...]] = (),
+) -> None:
+    """Prefix-state branch-and-bound (the fast exact oracle path).
+
+    Implements the *same* bounds and slack test as :func:`_search_pruned`
+    — see its docstring for the derivations — and covers the same
+    candidate space exactly, but restructured so the per-node cost
+    collapses:
+
+    * **bound tables** — ``new_fixed``'s stage component and
+      ``rem_bound`` depend only on ``(s, pos, size)``, never on the path
+      taken to the node, so they are computed once per ``(s, pos)`` with
+      the identical float expressions (same left-fold slice sums, same
+      operation order) and the DFS loop becomes two list reads and two
+      compares per child.  The stage component is monotone nondecreasing
+      in ``size`` (every term has non-negative coefficients in the
+      accumulated slice sums), which preserves the early ``break``.
+      Nodes one stage above the leaves handle their leaf children
+      inline: the remaining-suffix bound of a size-``p-1`` prefix *is*
+      the leaf's load bound, so the recursion stops one level early.
+    * **dominance memo** — a node is uniquely characterised by
+      ``(pos, f_stages, b_stages)``: every leaf below it only extends
+      those stage times.  When a node repeats, its earlier twin (which
+      the DFS visited with a lexicographically smaller ``sizes`` prefix,
+      since sizes are enumerated in increasing order) either offered
+      each twin leaf to the incumbent or bound-pruned it; a bound-pruned
+      leaf has true time ``>= bound > incumbent_then * slack >=
+      final_best``, so it can affect neither the argmin nor a tie.
+      Skipping the repeat subtree is therefore exact.
+    * **suffix flushes** — buffered leaves are resolved through
+      :class:`SuffixSimBatch` over :class:`PrefixState` checkpoints at
+      cut ``p - 2``: all leaves under one grandparent node share one
+      checkpoint chain (the last stage's size is forced by the
+      second-to-last cut, so cutting at ``p - 1`` would give every row
+      its own chain and amortise nothing).  The batched relaxation
+      skips the checkpointed free lattice but remains bit-identical to
+      a cold batch (see ``analytic_sim``); each flush folds into the
+      incumbent through one ``offer`` of its running min (the offer
+      rule is associative, so the result is unchanged).
+    * **extra warm seeds** — ``extra_seeds`` (the heuristic planner's
+      partition, when the caller enables it) are evaluated up front like
+      the Algorithm-1 seed.  Any valid candidate may seed the incumbent
+      without affecting exactness: seeds are offered through the same
+      tie-breaking rule, and a tighter incumbent only ever prunes
+      candidates whose true time provably exceeds the final best.
+    """
+    n = len(fwd)
+    p = num_stages
+    m = num_micro_batches
+    weights = [f + b for f, b in zip(fwd, bwd)]
+    prefw = [0.0]
+    for x in weights:
+        prefw.append(prefw[-1] + x)
+    inf = float("inf")
+    minmax = [[inf] * (n + 1) for _ in range(p + 1)]
+    for pos in range(n + 1):
+        minmax[1][pos] = prefw[n] - prefw[pos] if pos < n else inf
+    for k in range(2, p + 1):
+        for pos in range(n - k, -1, -1):
+            best = inf
+            for z in range(1, n - pos - k + 2):
+                head = prefw[pos + z] - prefw[pos]
+                if head >= best:
+                    break
+                tail_v = minmax[k - 1][pos + z]
+                cand = head if head > tail_v else tail_v
+                if cand < best:
+                    best = cand
+            minmax[k][pos] = best
+    base_rt = prefw[n] + 2 * (p - 1) * comm
+    floor = base_rt + (m - 1) * weights[n - 1]
+
+    def tail(stage: int, f_sum: float, b_sum: float) -> float:
+        w_cnt = min(m, p - 1 - stage)
+        steady = m - w_cnt
+        if steady >= 1:
+            return (steady - 1) * (f_sum + b_sum) + w_cnt * b_sum
+        return (m - 1) * b_sum
+
+    # Exact per-(pos, size) slice sums: left-fold accumulation starting
+    # at ``pos`` — the brute force's arithmetic, *not* prefix-sum
+    # differences, so candidate stage times stay bitwise identical.
+    slice_f: List[List[float]] = []
+    slice_b: List[List[float]] = []
+    for pos in range(n):
+        accf: List[float] = []
+        accb: List[float] = []
+        fa = 0.0
+        ba = 0.0
+        for i in range(pos, n):
+            fa += fwd[i]
+            ba += bwd[i]
+            accf.append(fa)
+            accb.append(ba)
+        slice_f.append(accf)
+        slice_b.append(accb)
+
+    # Leaf bounds: the last stage always starts at ``s = p - 1`` and
+    # spans ``pos..n-1``, so its bound is a pure function of ``pos``.
+    leaf_lb: List[float] = [inf] * n
+    for pos in range(p - 1, n):
+        f_sum = slice_f[pos][n - pos - 1]
+        b_sum = slice_b[pos][n - pos - 1]
+        leaf_lb[pos] = max(
+            prefw[pos] + 2 * (p - 1) * comm + m * (f_sum + b_sum),
+            base_rt + tail(p - 1, f_sum, b_sum),
+            floor,
+        )
+
+    #: (s, pos) -> (fixb, remb) bound lists, one entry per child size.
+    #: ``fixb`` is monotone nondecreasing, so the DFS can binary-search
+    #: the largest admissible child size instead of scanning.  For
+    #: leaf-parent tables (``s == p - 2``) ``remb`` is pre-merged with
+    #: the child leaf's own bound, collapsing the per-leaf test to one
+    #: compare.
+    tables: Dict[Tuple[int, int], Tuple[List[float], List[float]]] = {}
+
+    def get_table(s: int, pos: int) -> Tuple[List[float], List[float]]:
+        tab = tables.get((s, pos))
+        if tab is None:
+            max_size = n - pos - (p - s - 1)
+            base = prefw[pos] + 2 * s * comm
+            sf = slice_f[pos]
+            sb = slice_b[pos]
+            rem = p - s - 1
+            fixb: List[float] = []
+            remb: List[float] = []
+            for size in range(1, max_size + 1):
+                f_sum = sf[size - 1]
+                b_sum = sb[size - 1]
+                a = base + m * (f_sum + b_sum)
+                b = base_rt + tail(s, f_sum, b_sum)
+                fixb.append(a if a > b else b)
+                pos2 = pos + size
+                rb = prefw[pos2] + 2 * (s + 1) * comm + m * minmax[rem][pos2]
+                if m > rem:
+                    alt = base_rt + (m - rem) * minmax[rem][pos2]
+                    if alt > rb:
+                        rb = alt
+                if rem == 1 and leaf_lb[pos2] > rb:
+                    rb = leaf_lb[pos2]
+                remb.append(rb)
+            tab = (fixb, remb)
+            tables[(s, pos)] = tab
+        return tab
+
+    #: leaves awaiting evaluation: (sizes, per-stage fwd, per-stage bwd).
+    buffer: List[Tuple[Tuple[int, ...], Tuple[float, ...], Tuple[float, ...]]] = []
+    warm: dict = {}
+
+    # Prefix-checkpoint chains at cut p-2, keyed by the checkpointed
+    # stage-time prefix.  Chains build one stage at a time through
+    # PrefixState.extend, so rows sharing a prefix share the work — and
+    # at cut p-2 *all* leaves under one grandparent share one chain.
+    cut = max(p - 2, 0)
+    root = PrefixState.initial(p, m, comm, comm_mode=comm_mode)
+    chains: Dict[
+        Tuple[Tuple[float, ...], Tuple[float, ...]], PrefixState
+    ] = {((), ()): root}
+
+    def get_chain(
+        f_pre: Tuple[float, ...], b_pre: Tuple[float, ...]
+    ) -> PrefixState:
+        st = chains.get((f_pre, b_pre))
+        if st is None:
+            parent = get_chain(f_pre[:-1], b_pre[:-1])
+            st = parent.extend(f_pre[-1], b_pre[-1])
+            if len(chains) >= _CHAIN_CAP:
+                chains.clear()
+                chains[((), ())] = root
+            chains[(f_pre, b_pre)] = st
+        return st
+
+    def flush() -> None:
+        if not buffer:
+            return
+        resolved: List[Optional[float]] = [None] * len(buffer)
+        misses: List[int] = []
+        for j, (sizes, f_stages, b_stages) in enumerate(buffer):
+            t = warm.get(sizes)
+            if t is not None:
+                resolved[j] = t
+                continue
+            if sim_cache is not None:
+                hit = sim_cache.peek(
+                    StageTimes(f_stages, b_stages, comm), m, comm_mode
+                )
+                if hit is not None:
+                    resolved[j] = hit.iteration_time
+                    state.cache_hits += 1
+                    continue
+            misses.append(j)
+        if misses:
+            # Group rows by their cut prefix.  A prefix checkpoint only
+            # pays for itself when enough sibling leaves share it (one
+            # scalar ``extend`` against per-row level-skip savings), so
+            # small groups fall through to the shared cut-0 state — the
+            # same batched relaxation, seeded with nothing — instead of
+            # building one-off chains.  Both paths are bit-identical.
+            groups: Dict[
+                Tuple[Tuple[float, ...], Tuple[float, ...]], List[int]
+            ] = {}
+            for j in misses:
+                groups.setdefault(
+                    (buffer[j][1][:cut], buffer[j][2][:cut]), []
+                ).append(j)
+            chained: List[int] = []
+            cold: List[int] = []
+            for key, js in groups.items():
+                (chained if len(js) >= _CHAIN_MIN_GROUP else cold).extend(js)
+            state.evaluations += len(misses)
+            if chained:
+                states = [get_chain(*key) for key in (
+                    (buffer[j][1][:cut], buffer[j][2][:cut]) for j in chained
+                )]
+                batch = SuffixSimBatch(
+                    states,
+                    np.asarray([buffer[j][1][cut:] for j in chained]),
+                    np.asarray([buffer[j][2][cut:] for j in chained]),
+                    need_start=False,
+                )
+                state.suffix_sims += len(chained)
+                for j, t in zip(chained, batch.iteration_times().tolist()):
+                    resolved[j] = t
+            if cold:
+                batch = SuffixSimBatch(
+                    root,
+                    np.asarray([buffer[j][1] for j in cold]),
+                    np.asarray([buffer[j][2] for j in cold]),
+                    need_start=False,
+                )
+                for j, t in zip(cold, batch.iteration_times().tolist()):
+                    resolved[j] = t
+        # One offer per flush: the incumbent rule is a running min with a
+        # lexicographic tie-break, so folding the flush's own min first
+        # yields the identical final incumbent.
+        best_t = min(resolved)
+        best_sizes = min(
+            buffer[j][0] for j in range(len(buffer)) if resolved[j] == best_t
+        )
+        state.offer(best_sizes, best_t)
+        buffer.clear()
+
+    # Warm start: the Algorithm-1 seed (identical to _search_pruned's)
+    # plus any caller-provided candidates (the planner's partition); the
+    # tighter the initial incumbent, the more the bounds prune.
+    seeds: List[Tuple[int, ...]] = [tuple(min_max_partition(weights, p))]
+    for extra in extra_seeds:
+        extra = tuple(extra)
+        if (
+            extra not in seeds
+            and len(extra) == p
+            and sum(extra) == n
+            and all(sz >= 1 for sz in extra)
+        ):
+            seeds.append(extra)
+    for seed in seeds:
+        seed_f, seed_b = _stage_sums(fwd, bwd, seed)
+        seed_times = StageTimes(seed_f, seed_b, comm)
+        seed_sim = sim_cache.peek(seed_times, m, comm_mode) \
+            if sim_cache is not None else None
+        if seed_sim is not None:
+            state.cache_hits += 1
+        else:
+            seed_sim = PipelineSim(seed_times, m, comm_mode=comm_mode).run()
+            state.evaluations += 1
+        warm[seed] = seed_sim.iteration_time
+        state.offer(seed, seed_sim.iteration_time)
+
+    # The dominance memo can only ever fire when two different cut
+    # prefixes produce identical per-stage sum tuples — with all-distinct
+    # float block costs that needs an exact arithmetic coincidence, so
+    # the memo is engaged only when the profile has duplicate block
+    # costs (tied/uniform profiles, where twin subtrees are plentiful).
+    use_dominance = len(set(zip(fwd, bwd))) < n
+    visited: set = set()
+    comb = math.comb
+
+    def descend(
+        s: int,
+        pos: int,
+        sizes: Tuple[int, ...],
+        f_stages: Tuple[float, ...],
+        b_stages: Tuple[float, ...],
+        fixed_bound: float,
+    ) -> None:
+        rem_stages = p - s
+        if rem_stages == 1:
+            # Only reachable when p == 1 (deeper searches stop at the
+            # inline-leaf level below).
+            lb = leaf_lb[pos]
+            if fixed_bound > lb:
+                lb = fixed_bound
+            if lb > state.best_time * prune_slack:
+                return
+            last = n - pos - 1
+            buffer.append((
+                sizes + (n - pos,),
+                f_stages + (slice_f[pos][last],),
+                b_stages + (slice_b[pos][last],),
+            ))
+            if len(buffer) >= chunk_size:
+                flush()
+            return
+        if use_dominance:
+            key = (pos, f_stages, b_stages)
+            if key in visited:
+                state.dominance_pruned += comb(n - pos - 1, rem_stages - 1)
+                return
+            if len(visited) < _DOMINANCE_CAP:
+                visited.add(key)
+        fixb, remb = get_table(s, pos)
+        sf = slice_f[pos]
+        sb = slice_b[pos]
+        limit = state.best_time * prune_slack
+        if fixed_bound > limit:
+            return
+        # fixb is monotone nondecreasing: every child past the insertion
+        # point fails the fixed-stage test (the scanning loop's break).
+        hi = bisect_right(fixb, limit)
+        if rem_stages == 2:
+            # Each child fully determines the leaf (the last stage takes
+            # whatever remains), so append leaves inline instead of
+            # recursing; remb already carries the leaf's own bound, so
+            # one compare admits or rejects the candidate.
+            idx = 0
+            while idx < hi:
+                if remb[idx] <= limit:
+                    pos2 = pos + idx + 1
+                    last = n - pos2 - 1
+                    buffer.append((
+                        sizes + (idx + 1, n - pos2),
+                        f_stages + (sf[idx], slice_f[pos2][last]),
+                        b_stages + (sb[idx], slice_b[pos2][last]),
+                    ))
+                    if len(buffer) >= chunk_size:
+                        flush()
+                        limit = state.best_time * prune_slack
+                        if fixed_bound > limit:
+                            return
+                        hi = bisect_right(fixb, limit, 0, hi)
+                idx += 1
+            return
+        idx = 0
+        while idx < hi:
+            if remb[idx] <= limit:
+                nf = fixb[idx]
+                size = idx + 1
+                descend(
+                    s + 1, pos + size, sizes + (size,),
+                    f_stages + (sf[idx],), b_stages + (sb[idx],),
+                    nf if nf > fixed_bound else fixed_bound,
+                )
+                new_limit = state.best_time * prune_slack
+                if new_limit != limit:
+                    # A flush inside the subtree tightened the incumbent.
+                    limit = new_limit
+                    if fixed_bound > limit:
+                        return
+                    hi = bisect_right(fixb, limit, 0, hi)
+            idx += 1
 
     descend(0, 0, (), (), (), 0.0)
     flush()
@@ -373,17 +818,41 @@ def exhaustive_partition(
     comm_mode: str = "paper",
     max_evaluations: Optional[int] = 2_000_000,
     prune: bool = True,
+    incremental: bool = True,
+    planner_warm_start: Optional[bool] = None,
     sim_cache: Optional[SimCache] = None,
     chunk_size: int = _DEFAULT_CHUNK,
+    prune_slack: float = _PRUNE_SLACK,
 ) -> ExhaustiveResult:
     """Find the optimal partition over every contiguous candidate.
 
     ``prune=True`` (default) runs the branch-and-bound + batched search;
     ``prune=False`` runs the literal scalar brute force.  Both return the
-    identical partition and iteration time.  ``sim_cache`` harvests
+    identical partition and iteration time.  ``incremental=True``
+    (default) further runs the pruned search through precomputed bound
+    tables, the dominance memo and prefix-checkpointed suffix batches —
+    same bounds, same result, several times less wall clock
+    (``incremental=False`` keeps the per-node arithmetic path, mainly
+    for comparison benches).  ``planner_warm_start`` (incremental path
+    only) additionally evaluates the heuristic planner's partition as an
+    extra warm candidate: its near-optimal iteration time tightens the
+    incumbent from the first bound test on, typically pruning several
+    times more of the space at depth >= 10 than the Algorithm-1 seed
+    alone; the result is still the exact brute-force argmin, because
+    warm candidates go through the same tie-breaking ``offer`` and
+    bounds only ever discard provably worse subtrees.  The default
+    ``None`` enables it automatically once the search space is large
+    enough to amortise the planner's few dozen scalar simulations.
+    ``sim_cache`` harvests
     vectors already simulated in-process (e.g. by the planner) and is
-    reported via ``cache_hits``.  Raises ``ValueError`` if the search
-    space exceeds ``max_evaluations`` (pass ``None`` to force it anyway).
+    reported via ``cache_hits``.  ``prune_slack`` is the relative slack
+    of the pruning test (default ``1 + 1e-9``): a subtree is discarded
+    only when its lower bound exceeds ``incumbent * prune_slack``, so
+    values ``> 1`` keep the search exact under float rounding, while
+    larger values trade exactness for speed (bench sweeps use this to
+    study prune tightness).  Must be a finite float ``>= 1.0``.  Raises
+    ``ValueError`` if the search space exceeds ``max_evaluations`` (pass
+    ``None`` to force it anyway).
     """
     n = profile.num_blocks
     space = count_partitions(n, num_stages)
@@ -394,16 +863,42 @@ def exhaustive_partition(
         )
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    prune_slack = float(prune_slack)
+    if not math.isfinite(prune_slack) or prune_slack < 1.0:
+        raise ValueError(
+            f"prune_slack must be a finite float >= 1.0, got {prune_slack!r}"
+        )
     t0 = _time.perf_counter()
     fwd = profile.fwd_times()
     bwd = profile.bwd_times()
     comm = profile.comm_time
 
     state = _SearchState()
-    if prune:
+    if prune and incremental:
+        if planner_warm_start is None:
+            planner_warm_start = space >= _WARM_START_MIN_SPACE
+        extra_seeds: List[Tuple[int, ...]] = []
+        if planner_warm_start and num_stages > 1:
+            try:
+                heur = plan_partition(
+                    profile, num_stages, num_micro_batches,
+                    comm_mode=comm_mode, sim_cache=sim_cache,
+                )
+                extra_seeds.append(
+                    tuple(len(stage) for stage in heur.partition.stages)
+                )
+            except (ValueError, RuntimeError):
+                # The heuristic can be infeasible where the oracle is not
+                # (e.g. memory caps); the search just starts colder.
+                pass
+        _search_incremental(
+            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+            sim_cache, state, chunk_size, prune_slack, extra_seeds,
+        )
+    elif prune:
         _search_pruned(
             fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
-            sim_cache, state, chunk_size,
+            sim_cache, state, chunk_size, prune_slack,
         )
     else:
         _search_brute(
@@ -426,4 +921,6 @@ def exhaustive_partition(
         search_seconds=_time.perf_counter() - t0,
         space=space,
         cache_hits=state.cache_hits,
+        suffix_sims=state.suffix_sims,
+        dominance_pruned=state.dominance_pruned,
     )

@@ -26,11 +26,11 @@ forward), so the whole search typically evaluates tens of schemes.
 from __future__ import annotations
 
 import time as _time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.core.analytic_sim import PipelineSim, SimResult
+from repro.core.analytic_sim import PipelineSim, PrefixState, SimResult
 from repro.core.balance_dp import min_max_partition
 from repro.core.partition import PartitionScheme, StageTimes
 from repro.models.transformer import layer_groups
@@ -66,6 +66,23 @@ class SimCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters.
+
+        Tests and benches that share the process-wide
+        :func:`default_sim_cache` call this to measure from a cold cache
+        instead of inheriting cross-test state.
+        """
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def peek(
         self, times: StageTimes, num_micro_batches: int, comm_mode: str
     ) -> Optional[SimResult]:
@@ -84,9 +101,19 @@ class SimCache:
         return sim
 
     def simulate(
-        self, times: StageTimes, num_micro_batches: int, comm_mode: str
+        self,
+        times: StageTimes,
+        num_micro_batches: int,
+        comm_mode: str,
+        runner: Optional[Callable[[], SimResult]] = None,
     ) -> SimResult:
-        """Return the memoised simulation of ``times``, running it once."""
+        """Return the memoised simulation of ``times``, running it once.
+
+        ``runner`` substitutes the evaluation on a miss — the incremental
+        planner path passes a prefix-state resume here.  Any runner must
+        be bit-identical to the cold simulation (the resume API is), so
+        cached semantics are unchanged.
+        """
         key = (times.fwd, times.bwd, times.comm, num_micro_batches, comm_mode)
         sim = self._data.get(key)
         if sim is not None:
@@ -94,7 +121,10 @@ class SimCache:
             self._data.move_to_end(key)
             return sim
         self.misses += 1
-        sim = PipelineSim(times, num_micro_batches, comm_mode=comm_mode).run()
+        if runner is not None:
+            sim = runner()
+        else:
+            sim = PipelineSim(times, num_micro_batches, comm_mode=comm_mode).run()
         self._data[key] = sim
         if len(self._data) > self.max_entries:
             self._data.popitem(last=False)
@@ -309,6 +339,7 @@ def plan_partition(
     keep_history: bool = False,
     memory_cap: Optional[float] = None,
     sim_cache: Optional[SimCache] = None,
+    incremental: bool = False,
 ) -> PlannerResult:
     """Run the AutoPipe Planner and return the best partition found.
 
@@ -322,6 +353,20 @@ def plan_partition(
     ``sim_cache`` shares simulator results across planning calls (sweeps);
     it changes neither the returned partition nor the reported
     ``evaluations`` — only how many simulations actually run.
+    ``incremental=True`` evaluates candidates via
+    :class:`~repro.core.analytic_sim.PrefixState` checkpoints: a
+    dequeued scheme's prefix free lattice is checkpointed once and its
+    cooldown/shift children resume from the shared cut instead of
+    simulating from stage 0.  Bit-identical to the cold path (same
+    results, evaluations and history — property-tested).  Off by
+    default because it is *not* a win at heuristic-search scale: the
+    per-candidate cost is dominated by the critical-path backtrack the
+    master-stage rule needs, and the free lattice is only ~15–25 % of
+    the recurrence, so measured scalar resume is parity-to-slightly-
+    slower at depths 4–16.  The incremental machinery pays off in the
+    exhaustive oracle, where thousands of suffix candidates amortise one
+    checkpoint through batched level relaxation (see
+    ``exhaustive_partition``).
     """
     t0 = _time.perf_counter()
     space = _UnitSpace(profile, granularity)
@@ -347,17 +392,57 @@ def plan_partition(
             feasible[sizes] = cached
         return cached
 
+    # Prefix-state checkpoints shared across candidates, keyed by the
+    # checkpointed prefix of the stage-time vector.  The search's moves
+    # (cooldown adjust, master shift) only change stages at/after the
+    # master, so a dequeued scheme's children share its prefix:
+    # ``checkpoint`` stores the chain of cuts for a parent about to be
+    # expanded, and ``run_incremental`` resumes any candidate from the
+    # longest prefix already checkpointed (falling back to a cold run
+    # when nothing is shared — extending a throwaway chain would cost
+    # more than it saves).
+    states: Dict[Tuple[Tuple[float, ...], Tuple[float, ...]], PrefixState] = {}
+
+    def checkpoint(times: StageTimes) -> None:
+        n = times.num_stages
+        state = PrefixState.initial(
+            n, num_micro_batches, times.comm, comm_mode=comm_mode
+        )
+        while state.k < n - 1:
+            key = (times.fwd[:state.k + 1], times.bwd[:state.k + 1])
+            nxt = states.get(key)
+            if nxt is None:
+                nxt = state.extend(times.fwd[state.k], times.bwd[state.k])
+                states[key] = nxt
+            state = nxt
+
+    def run_incremental(times: StageTimes) -> SimResult:
+        n = times.num_stages
+        for k in range(n - 1, 0, -1):
+            state = states.get((times.fwd[:k], times.bwd[:k]))
+            if state is not None:
+                return PipelineSim.resume(
+                    state,
+                    StageTimes(times.fwd[k:], times.bwd[k:], times.comm),
+                )
+        return PipelineSim(
+            times, num_micro_batches, comm_mode=comm_mode
+        ).run()
+
     def evaluate(sizes: Sizes) -> SimResult:
         sim = cache.get(sizes)
         if sim is None:
+            times = space.stage_times(sizes)
+            runner = (lambda: run_incremental(times)) if incremental else None
             if sim_cache is not None:
                 sim = sim_cache.simulate(
-                    space.stage_times(sizes), num_micro_batches, comm_mode
+                    times, num_micro_batches, comm_mode, runner=runner
                 )
+            elif runner is not None:
+                sim = runner()
             else:
                 sim = PipelineSim(
-                    space.stage_times(sizes), num_micro_batches,
-                    comm_mode=comm_mode,
+                    times, num_micro_batches, comm_mode=comm_mode
                 ).run()
             cache[sizes] = sim
             if keep_history:
@@ -378,7 +463,7 @@ def plan_partition(
     seed_sim = evaluate(seed)
     consider(seed, seed_sim)
 
-    queue: List[Sizes] = [seed]
+    queue: Deque[Sizes] = deque([seed])
     enqueued = {seed}
     if memory_cap is not None and not fits(seed):
         # Time-balance alone may overload a stage (typically the loss
@@ -392,7 +477,7 @@ def plan_partition(
             queue.append(repaired)
             enqueued.add(repaired)
     while queue and len(cache) < max_evaluations:
-        sizes = queue.pop(0)
+        sizes = queue.popleft()
         sim = evaluate(sizes)
         master = sim.master_stage
 
@@ -408,6 +493,11 @@ def plan_partition(
         consider(sizes, sim)
         if master == 0:
             continue
+        if incremental:
+            # This scheme is about to spawn shift children that share its
+            # stage-time prefix up to the master; checkpoint the chain
+            # once so their evaluations resume instead of starting cold.
+            checkpoint(space.stage_times(sizes))
         for cand in _shift_candidates(sizes, master, space):
             if cand in enqueued:
                 continue

@@ -96,13 +96,16 @@ def autopipe_config(
     *,
     granularity: str = "sublayer",
     sim_cache: Optional[SimCache] = None,
+    incremental: bool = False,
 ) -> PlannedConfig:
     """Choose (dp, pp) and the balanced partition for a whole cluster.
 
     ``sim_cache`` defaults to the process-wide memo shared by all sweep
     entry points (the Table III/IV sweeps re-evaluate many identical
     candidate stage times across cells); pass an explicit cache to
-    isolate a run.
+    isolate a run.  ``incremental`` forwards to
+    :func:`repro.core.planner.plan_partition`'s prefix-state resume path
+    (bit-identical results; see its docstring for when it pays off).
     """
     if sim_cache is None:
         sim_cache = default_sim_cache()
@@ -140,7 +143,7 @@ def autopipe_config(
                 planned = plan_partition(
                     profile, pp, m, granularity=granularity,
                     memory_cap=profile.hardware.gpu_memory,
-                    sim_cache=sim_cache,
+                    sim_cache=sim_cache, incremental=incremental,
                 )
                 partition = planned.partition
                 predicted = planned.iteration_time

@@ -159,6 +159,25 @@ class SweepRunner:
                     self._store(keys[i], value)
         return results
 
+    def sim_stats(self) -> dict:
+        """Sweep-level cache statistics: disk cells + simulation memo.
+
+        Reads the process-wide :class:`~repro.core.planner.SimCache`, so
+        the simulation numbers cover every inline cell evaluated since
+        the memo was last cleared (pool workers keep their own memo — a
+        ``jobs > 1`` sweep reports only the parent's share).
+        """
+        from repro.core.planner import default_sim_cache
+
+        cache = default_sim_cache()
+        return {
+            "cell_cache_hits": self.cache_hits,
+            "cell_cache_misses": self.cache_misses,
+            "sim_cache_hits": cache.hits,
+            "sim_cache_misses": cache.misses,
+            "sim_cache_hit_rate": cache.hit_rate,
+        }
+
     def _execute(self, fn: Callable, cells: List[Tuple]) -> List:
         if self.jobs == 1 or len(cells) <= 1:
             return [fn(*cell) for cell in cells]

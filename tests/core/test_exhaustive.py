@@ -96,3 +96,43 @@ class TestPrunedEquivalence:
         assert again.cache_hits > 0
         assert again.partition.sizes == first.partition.sizes
         assert again.iteration_time == first.iteration_time
+
+    @pytest.mark.parametrize("stages,m", [(3, 6), (4, 8)])
+    def test_incremental_matches_per_node_pruned_path(
+        self, tiny_profile, stages, m
+    ):
+        """Both pruned evaluators return the identical argmin."""
+        per_node = exhaustive_partition(
+            tiny_profile, stages, m, incremental=False
+        )
+        incremental = exhaustive_partition(
+            tiny_profile, stages, m, incremental=True
+        )
+        assert incremental.partition.sizes == per_node.partition.sizes
+        assert incremental.iteration_time == per_node.iteration_time
+        assert incremental.suffix_sims >= 0
+        assert incremental.dominance_pruned >= 0
+
+
+class TestPruneSlack:
+    def test_rejects_invalid_slack(self, tiny_profile):
+        for bad in (0.0, 0.5, float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError, match="prune_slack"):
+                exhaustive_partition(tiny_profile, 3, 6, prune_slack=bad)
+
+    def test_exact_at_default_slack(self, tiny_profile):
+        brute = exhaustive_partition(tiny_profile, 3, 6, prune=False)
+        tight = exhaustive_partition(tiny_profile, 3, 6, prune_slack=1.0)
+        assert tight.iteration_time == brute.iteration_time
+        assert tight.partition.sizes == brute.partition.sizes
+
+    def test_loose_slack_prunes_more_never_worse_than_slack(
+        self, tiny_profile
+    ):
+        """With slack s the returned time is within s of the optimum (the
+        incumbent is only ever discarded against bound * s)."""
+        brute = exhaustive_partition(tiny_profile, 4, 8, prune=False)
+        for slack in (1.05, 1.25):
+            loose = exhaustive_partition(tiny_profile, 4, 8, prune_slack=slack)
+            assert loose.evaluations <= brute.evaluations
+            assert loose.iteration_time <= brute.iteration_time * slack

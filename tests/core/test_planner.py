@@ -120,3 +120,46 @@ class TestEquationOne:
             # Max-fill guarantees the bound wherever a single unit fits.
             if t.fwd[s] + t.bwd[s] <= b_master:
                 assert cum <= offset * b_master + t.fwd[s] + t.bwd[s]
+
+
+class TestSimCache:
+    def test_clear_resets_entries_and_counters(self, gpt2_profile):
+        from repro.core.planner import SimCache
+
+        cache = SimCache()
+        plan_partition(gpt2_profile, 4, 8, sim_cache=cache)
+        assert cache.hits + cache.misses > 0
+        cache.clear()
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert cache.hit_rate == 0.0
+        # a cleared cache re-simulates: first run after clear has no hits
+        plan_partition(gpt2_profile, 4, 8, sim_cache=cache)
+        assert cache.misses > 0
+
+    def test_hit_rate_tracks_reuse(self, gpt2_profile):
+        from repro.core.planner import SimCache
+
+        cache = SimCache()
+        plan_partition(gpt2_profile, 4, 8, sim_cache=cache)
+        first_rate = cache.hit_rate
+        plan_partition(gpt2_profile, 4, 8, sim_cache=cache)
+        assert 0.0 <= first_rate <= cache.hit_rate <= 1.0
+
+    def test_default_cache_is_resettable(self):
+        from repro.core.planner import default_sim_cache
+
+        cache = default_sim_cache()
+        cache.clear()
+        assert cache.hit_rate == 0.0
+
+
+class TestIncrementalPlanner:
+    @pytest.mark.parametrize("stages,m", [(2, 4), (4, 8), (6, 12)])
+    def test_incremental_matches_default_path(self, gpt2_profile, stages, m):
+        """plan_partition(incremental=True) is bit-identical in outcome."""
+        base = plan_partition(gpt2_profile, stages, m, incremental=False)
+        inc = plan_partition(gpt2_profile, stages, m, incremental=True)
+        assert inc.partition.stages == base.partition.stages
+        assert inc.iteration_time == base.iteration_time
+        assert inc.evaluations == base.evaluations
