@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -59,9 +60,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"choose from {', '.join(ALL_EXPERIMENTS)}, 'all' or 'list'"
         )
         return 2
+    # A crashing experiment used to take the whole invocation down with
+    # a traceback and (worse) a zero exit under some wrappers; now each
+    # experiment is isolated, failures go to stderr, and "all" finishes
+    # the remaining experiments before reporting which ones failed.
+    failed: List[str] = []
     for name in names:
-        ALL_EXPERIMENTS[name].main()
+        try:
+            ALL_EXPERIMENTS[name].main()
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            traceback.print_exc(file=sys.stderr)
+            print(f"error: experiment {name!r} failed", file=sys.stderr)
+            failed.append(name)
         print()
+    if failed:
+        print(
+            f"{len(failed)}/{len(names)} experiments failed: "
+            + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -784,10 +784,14 @@ class PipelineSim:
 class PipelineSimBatch:
     """Vectorised evaluation of many candidate stage-time vectors at once.
 
-    All candidates share the pipeline shape ``(num_stages, m)``, the scalar
-    ``comm`` and the comm mode — exactly the situation of a partition
-    search, where thousands of candidate partitions of one model aggregate
-    to different ``(fwd, bwd)`` stage vectors over the same dependency DAG.
+    All candidates share the pipeline shape ``(num_stages, m)`` and the
+    comm mode — exactly the situation of a partition search, where
+    thousands of candidate partitions of one model aggregate to different
+    ``(fwd, bwd)`` stage vectors over the same dependency DAG.  ``comm``
+    is normally one shared scalar; a ``(K,)`` vector gives each candidate
+    row its own comm time (perturbation draws degrade the link per draw —
+    see :mod:`repro.robustness`).  A vector whose entries all equal the
+    scalar is bitwise equivalent to passing the scalar.
 
     The recurrences run level-by-level over the cached DAG wavefront
     (:meth:`_Shape.levels`): each level is one numpy step over a ``(K,)``
@@ -822,15 +826,30 @@ class PipelineSimBatch:
             )
         if fwd.shape[1] < 1:
             raise ValueError("need at least one stage")
-        if fwd.min(initial=0.0) < 0 or bwd.min(initial=0.0) < 0 or comm < 0:
+        if fwd.min(initial=0.0) < 0 or bwd.min(initial=0.0) < 0:
             raise ValueError("times must be non-negative")
+        if np.ndim(comm) == 0:
+            if comm < 0:
+                raise ValueError("times must be non-negative")
+            self.comm = float(comm)
+            self._comm_vec: Optional[np.ndarray] = None
+        else:
+            vec = np.ascontiguousarray(comm, dtype=np.float64)
+            if vec.shape != (fwd.shape[0],):
+                raise ValueError(
+                    f"per-candidate comm must have shape ({fwd.shape[0]},), "
+                    f"got {vec.shape}"
+                )
+            if vec.min(initial=0.0) < 0:
+                raise ValueError("times must be non-negative")
+            self.comm = vec
+            self._comm_vec = vec
         if num_micro_batches <= 0:
             raise ValueError("need at least one micro-batch")
         if comm_mode not in ("paper", "edges"):
             raise ValueError(f"unknown comm_mode {comm_mode!r}")
         self.fwd = fwd
         self.bwd = bwd
-        self.comm = float(comm)
         self.m = num_micro_batches
         self.comm_mode = comm_mode
         self.num_candidates, self.n = fwd.shape
@@ -865,7 +884,10 @@ class PipelineSimBatch:
             return
         shape = self._shape
         size = len(shape.ops)
-        comm = self.comm
+        # A (K, 1) comm column broadcasts through the identical IEEE
+        # expressions as the scalar, so per-candidate comm costs nothing
+        # on the scalar path and is bitwise equal when the entries agree.
+        comm = self.comm if self._comm_vec is None else self._comm_vec[:, None]
         # (K, size) per-op durations: fwd/bwd of the op's stage by op kind.
         dur = np.where(
             shape.is_fwd[None, :],
@@ -909,8 +931,9 @@ class PipelineSimBatch:
         ``PipelineSim(times_k, m).run()``.
         """
         self._evaluate()
+        comm = self.comm if self._comm_vec is None else float(self._comm_vec[k])
         times = StageTimes(
-            tuple(self.fwd[k].tolist()), tuple(self.bwd[k].tolist()), self.comm
+            tuple(self.fwd[k].tolist()), tuple(self.bwd[k].tolist()), comm
         )
         sim = PipelineSim(times, self.m, comm_mode=self.comm_mode)
         return sim._finalize(

@@ -80,6 +80,7 @@ from repro.core.balance_dp import min_max_partition
 from repro.core.partition import PartitionScheme, StageTimes
 from repro.core.planner import SimCache, plan_partition
 from repro.profiling.modelconfig import ModelProfile
+from repro.robustness.evaluate import RobustObjective, robust_objective_batch
 
 #: relative slack on the pruning test: a subtree is discarded only when
 #: its lower bound exceeds the incumbent by more than this factor, so
@@ -132,6 +133,10 @@ class ExhaustiveResult:
     #: :attr:`pruned`, attributed to twin-subtree detection rather than
     #: the lower bounds).
     dominance_pruned: int = 0
+    #: the winner's robust objective value when searching with
+    #: ``robust=`` (statistic over the perturbation draws); None for the
+    #: nominal objective.
+    robust_value: Optional[float] = None
 
     @property
     def iteration_time(self) -> float:
@@ -236,6 +241,63 @@ def _search_brute(
             ).run()
             state.evaluations += 1
         state.offer(sizes, sim.iteration_time)
+
+
+def _search_robust(
+    fwd: Sequence[float],
+    bwd: Sequence[float],
+    comm: float,
+    num_stages: int,
+    num_micro_batches: int,
+    comm_mode: str,
+    state: _SearchState,
+    chunk_size: int,
+    robust: RobustObjective,
+) -> None:
+    """Exact robust oracle: chunked batched brute force over all candidates.
+
+    The nominal lower bounds of the pruned search do not transfer to a
+    robust objective — a perturbation draw can reorder candidates the
+    bounds assumed dominated — so the robust oracle enumerates every
+    candidate and evaluates whole chunks of them under all ``K`` draws
+    through one ``(C*K, n)`` :class:`PipelineSimBatch` pass
+    (:func:`~repro.robustness.evaluate.robust_objective_batch`).  Chunks
+    are sized so the batch stays near ``chunk_size`` *rows* (candidates
+    x draws), bounding peak memory.  ``offer`` runs per candidate in
+    enumeration order, so the argmin semantics (first lexicographic
+    candidate achieving the minimum objective) match the nominal brute
+    force's.
+    """
+    n = len(fwd)
+    factors = robust.factors(num_stages)
+    cand_chunk = max(1, chunk_size // factors.draws)
+    sizes_buf: List[Tuple[int, ...]] = []
+    f_buf: List[Tuple[float, ...]] = []
+    b_buf: List[Tuple[float, ...]] = []
+
+    def flush() -> None:
+        if not sizes_buf:
+            return
+        values = robust_objective_batch(
+            np.asarray(f_buf), np.asarray(b_buf), comm,
+            num_micro_batches, factors, robust.statistic,
+            comm_mode=comm_mode,
+        )
+        state.evaluations += len(sizes_buf)
+        for sizes, v in zip(sizes_buf, values.tolist()):
+            state.offer(sizes, v)
+        sizes_buf.clear()
+        f_buf.clear()
+        b_buf.clear()
+
+    for sizes in iter_partitions(n, num_stages):
+        f_stages, b_stages = _stage_sums(fwd, bwd, sizes)
+        sizes_buf.append(sizes)
+        f_buf.append(f_stages)
+        b_buf.append(b_stages)
+        if len(sizes_buf) >= cand_chunk:
+            flush()
+    flush()
 
 
 def _search_pruned(
@@ -823,6 +885,7 @@ def exhaustive_partition(
     sim_cache: Optional[SimCache] = None,
     chunk_size: int = _DEFAULT_CHUNK,
     prune_slack: float = _PRUNE_SLACK,
+    robust: Optional[RobustObjective] = None,
 ) -> ExhaustiveResult:
     """Find the optimal partition over every contiguous candidate.
 
@@ -853,6 +916,16 @@ def exhaustive_partition(
     study prune tightness).  Must be a finite float ``>= 1.0``.  Raises
     ``ValueError`` if the search space exceeds ``max_evaluations`` (pass
     ``None`` to force it anyway).
+    ``robust`` replaces the objective with a
+    :class:`~repro.robustness.evaluate.RobustObjective`: the oracle
+    returns the first lexicographic partition minimising the configured
+    statistic of the simulated iteration time over the objective's
+    perturbation draws.  The nominal bounds do not transfer to a robust
+    objective, so this path enumerates the full space with chunked
+    batched evaluation (``prune``/``incremental``/``planner_warm_start``
+    /``sim_cache`` are ignored); the winner's objective value is
+    reported as ``ExhaustiveResult.robust_value``, while ``sim`` stays
+    the winner's *nominal* simulation.
     """
     n = profile.num_blocks
     space = count_partitions(n, num_stages)
@@ -874,7 +947,12 @@ def exhaustive_partition(
     comm = profile.comm_time
 
     state = _SearchState()
-    if prune and incremental:
+    if robust is not None:
+        _search_robust(
+            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+            state, chunk_size, robust,
+        )
+    elif prune and incremental:
         if planner_warm_start is None:
             planner_warm_start = space >= _WARM_START_MIN_SPACE
         extra_seeds: List[Tuple[int, ...]] = []
@@ -923,4 +1001,5 @@ def exhaustive_partition(
         cache_hits=state.cache_hits,
         suffix_sims=state.suffix_sims,
         dominance_pruned=state.dominance_pruned,
+        robust_value=state.best_time if robust is not None else None,
     )

@@ -35,6 +35,7 @@ from repro.core.balance_dp import min_max_partition
 from repro.core.partition import PartitionScheme, StageTimes
 from repro.models.transformer import layer_groups
 from repro.profiling.modelconfig import ModelProfile
+from repro.robustness.evaluate import RobustObjective, robust_objective_value
 
 Sizes = Tuple[int, ...]
 
@@ -154,6 +155,9 @@ class PlannerResult:
     search_seconds: float
     granularity: str
     history: Tuple[Tuple[Sizes, float], ...] = field(default=())
+    #: the winning scheme's robust objective value (statistic over the
+    #: perturbation draws) when planning with ``robust=``; None otherwise.
+    robust_value: Optional[float] = None
 
     @property
     def iteration_time(self) -> float:
@@ -340,6 +344,7 @@ def plan_partition(
     memory_cap: Optional[float] = None,
     sim_cache: Optional[SimCache] = None,
     incremental: bool = False,
+    robust: Optional[RobustObjective] = None,
 ) -> PlannerResult:
     """Run the AutoPipe Planner and return the best partition found.
 
@@ -367,6 +372,16 @@ def plan_partition(
     exhaustive oracle, where thousands of suffix candidates amortise one
     checkpoint through batched level relaxation (see
     ``exhaustive_partition``).
+    ``robust`` switches the selection objective from the nominal
+    iteration time to a :class:`~repro.robustness.evaluate.RobustObjective`
+    — the configured statistic (mean/P95/max) of the candidate's
+    simulated iteration time over ``K`` seeded perturbation draws.  The
+    draws are sampled once per call, so every candidate is compared
+    under the same scenarios; each considered candidate costs one extra
+    batched ``K``-row relaxation.  The *search moves* are still driven
+    by the nominal simulations (master stage, cooldown adjust), so the
+    explored neighbourhood is unchanged — only the winner selection is.
+    The winning value is reported as ``PlannerResult.robust_value``.
     """
     t0 = _time.perf_counter()
     space = _UnitSpace(profile, granularity)
@@ -452,13 +467,33 @@ def plan_partition(
     seed = tuple(min_max_partition(space.weights, num_stages))
     best_sizes: Optional[Sizes] = None
     best_sim: Optional[SimResult] = None
+    best_value: Optional[float] = None
+
+    # Robust mode: one factor set drawn up front, one batched K-row
+    # relaxation per considered candidate, memoised by sizes.  Nominal
+    # mode keeps the original objective (the nominal iteration time).
+    factors = robust.factors(num_stages) if robust is not None else None
+    robust_vals: Dict[Sizes, float] = {}
+
+    def objective(sizes: Sizes, sim: SimResult) -> float:
+        if factors is None or robust is None:
+            return sim.iteration_time
+        val = robust_vals.get(sizes)
+        if val is None:
+            val = robust_objective_value(
+                sim.stage_times, num_micro_batches, factors,
+                robust.statistic, comm_mode=comm_mode,
+            )
+            robust_vals[sizes] = val
+        return val
 
     def consider(sizes: Sizes, sim: SimResult) -> None:
-        nonlocal best_sizes, best_sim
+        nonlocal best_sizes, best_sim, best_value
         if not fits(sizes):
             return
-        if best_sim is None or sim.iteration_time < best_sim.iteration_time:
-            best_sizes, best_sim = sizes, sim
+        value = objective(sizes, sim)
+        if best_value is None or value < best_value:
+            best_sizes, best_sim, best_value = sizes, sim, value
 
     seed_sim = evaluate(seed)
     consider(seed, seed_sim)
@@ -520,4 +555,5 @@ def plan_partition(
         search_seconds=elapsed,
         granularity=granularity,
         history=tuple(history),
+        robust_value=best_value if factors is not None else None,
     )

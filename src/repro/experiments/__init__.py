@@ -8,6 +8,7 @@ from repro.experiments import (  # noqa: F401
     fig12,
     fig13,
     fig14,
+    robustness,
     sensitivity,
     table2,
     table3,
@@ -28,6 +29,7 @@ ALL_EXPERIMENTS = {
     "table4": table4,
     "sensitivity": sensitivity,
     "deep_pipeline": deep_pipeline,
+    "robustness": robustness,
 }
 
 from repro.experiments import report  # noqa: E402,F401  (imports the above)

@@ -30,6 +30,17 @@ Cells run via a process pool must be module-level functions with
 picklable arguments and results.  ``jobs=1`` (the default) runs inline —
 no subprocess, no pickling constraints beyond the disk cache's.
 
+Determinism
+-----------
+Every cell runs with the global ``random`` and legacy NumPy RNGs seeded
+from a hash of the cell's identity (dotted function name + argument
+repr), so a cell that consumes global randomness produces *bit-identical*
+results inline (``--jobs 1``), on a process pool (``--jobs N``), or when
+replayed from the disk cache.  Previously pool workers inherited
+whatever RNG state their process happened to have, so ``--jobs N``
+results could differ from inline runs and from each other.  Cells using
+their own ``np.random.default_rng(seed)`` are unaffected.
+
 Experiment modules resolve their runner through
 :func:`default_runner` / :func:`set_default_runner`, which the CLI wires
 to ``--jobs`` / ``--cache-dir``.
@@ -40,6 +51,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import random
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
@@ -47,6 +59,32 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 #: bump to invalidate every on-disk entry (cache layout changes).
 _SCHEMA = "1"
+
+
+def cell_seed(fn: Callable, cell: Tuple) -> int:
+    """Deterministic per-cell RNG seed from the cell's identity.
+
+    Derived from the dotted function name and the argument repr only —
+    deliberately *not* the module's source hash — so seeds survive
+    unrelated edits and match across processes and cache generations.
+    """
+    payload = repr((
+        getattr(fn, "__module__", "?"),
+        getattr(fn, "__qualname__", repr(fn)),
+        cell,
+    ))
+    return int.from_bytes(
+        hashlib.sha256(payload.encode()).digest()[:8], "big"
+    )
+
+
+def _seeded_call(fn: Callable, cell: Tuple, seed: int):
+    """Run one cell with the global RNGs seeded (pool-worker entry point)."""
+    random.seed(seed)
+    import numpy as np
+
+    np.random.seed(seed % 2**32)
+    return fn(*cell)
 
 
 class SweepRunner:
@@ -179,18 +217,28 @@ class SweepRunner:
         }
 
     def _execute(self, fn: Callable, cells: List[Tuple]) -> List:
+        seeds = [cell_seed(fn, cell) for cell in cells]
         if self.jobs == 1 or len(cells) <= 1:
-            return [fn(*cell) for cell in cells]
+            return [
+                _seeded_call(fn, cell, seed)
+                for cell, seed in zip(cells, seeds)
+            ]
         try:
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(cells))
             ) as pool:
-                futures = [pool.submit(fn, *cell) for cell in cells]
+                futures = [
+                    pool.submit(_seeded_call, fn, cell, seed)
+                    for cell, seed in zip(cells, seeds)
+                ]
                 return [f.result() for f in futures]
         except (OSError, PermissionError):
             # Sandboxes without process/semaphore support fall back to
             # inline execution rather than failing the sweep.
-            return [fn(*cell) for cell in cells]
+            return [
+                _seeded_call(fn, cell, seed)
+                for cell, seed in zip(cells, seeds)
+            ]
 
 
 #: process-wide runner used when experiment entry points get none;

@@ -1,0 +1,47 @@
+"""Perturbation-robust planning: deterministic fault/straggler injection.
+
+Seeded perturbation models (:mod:`repro.robustness.perturbation`) map a
+nominal stage-time vector to ``K`` perturbed cost vectors; the batched
+evaluators (:mod:`repro.robustness.evaluate`) simulate all of them in
+one relaxation pass.  ``plan_partition(robust=...)`` and
+``exhaustive_partition(robust=...)`` consume a
+:class:`~repro.robustness.evaluate.RobustObjective` to select partitions
+by mean/P95/max simulated iteration time over the draws instead of the
+nominal time.  See docs/robustness.md.
+"""
+
+from repro.robustness.evaluate import (
+    STATISTICS,
+    RobustnessProfile,
+    RobustObjective,
+    reduce_statistic,
+    robust_iteration_times,
+    robust_objective_batch,
+    robust_objective_value,
+    robustness_profile,
+)
+from repro.robustness.perturbation import (
+    CommDegradation,
+    PerturbationModel,
+    StageCostNoise,
+    StageFactors,
+    Straggler,
+    draw_factors,
+)
+
+__all__ = [
+    "STATISTICS",
+    "CommDegradation",
+    "PerturbationModel",
+    "RobustObjective",
+    "RobustnessProfile",
+    "StageCostNoise",
+    "StageFactors",
+    "Straggler",
+    "draw_factors",
+    "reduce_statistic",
+    "robust_iteration_times",
+    "robust_objective_batch",
+    "robust_objective_value",
+    "robustness_profile",
+]

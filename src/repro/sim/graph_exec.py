@@ -240,7 +240,7 @@ class GraphStructure:
 
     __slots__ = (
         "num_nodes", "num_edges", "levels", "edge_perm", "node_order",
-        "records", "first_f", "mem_offsets", "sig",
+        "records", "first_f", "mem_offsets", "sig", "perturb_plan",
     )
 
     def __init__(self, walk: _Walk) -> None:
@@ -339,6 +339,8 @@ class GraphStructure:
             ([0], np.cumsum(np.asarray(walk.mem_counts, dtype=np.intp)))
         )
         self.sig = walk.sig
+        #: lazily built node/edge classification for ``run_perturbed``.
+        self.perturb_plan = None
 
 
 #: process-wide structure cache keyed by lowered shape signature.
@@ -591,6 +593,109 @@ def run_batch(graphs: Sequence[CompiledGraph]) -> List[ExecutionResult]:
         base[:, lo:hi] = np.maximum.reduceat(cand, off, axis=1)
     end = base + node_add
     return [g._result(base[i], end[i]) for i, g in enumerate(graphs)]
+
+
+def _perturb_plan(structure: GraphStructure) -> tuple:
+    """Node/edge classification for :func:`run_perturbed`, cached per structure.
+
+    Classifies every node as *compute on device d* (``_REC_COMPUTE``
+    records carry the owning device) or *communication* (rendezvous
+    exchanges and eager wire/latency nodes), and every level-major edge
+    as a *deposit* edge (its weight is a wire transfer — identified by
+    the walk-order edge indices recorded in the eager receives) or a
+    *program* edge (its weight is the source node's duration, so it
+    scales with the source node's factor).
+    """
+    plan = structure.perturb_plan
+    if plan is not None:
+        return plan
+    num_nodes = structure.num_nodes
+    node_dev = np.zeros(num_nodes, dtype=np.intp)
+    node_is_comm = np.zeros(num_nodes, dtype=bool)
+    deposit_widx: List[int] = []
+    for dev, records in enumerate(structure.records):
+        for rec in records:
+            code, nid = rec[0], rec[1]
+            if code == _REC_COMPUTE:
+                node_dev[nid] = dev
+            else:
+                node_is_comm[nid] = True
+                if code == _REC_EAGER:
+                    for _snid, widx, _ridx in rec[4]:
+                        deposit_widx.append(widx)
+    dep_walk = np.zeros(structure.num_edges, dtype=bool)
+    if deposit_widx:
+        dep_walk[np.asarray(deposit_widx, dtype=np.intp)] = True
+    src_lvl = np.zeros(structure.num_edges, dtype=np.intp)
+    for lo, hi, e0, e1, src, off in structure.levels:
+        src_lvl[e0:e1] = src
+    plan = (node_dev, node_is_comm, src_lvl, dep_walk[structure.edge_perm])
+    structure.perturb_plan = plan
+    return plan
+
+
+def run_perturbed(
+    graph: CompiledGraph,
+    compute_factors: "np.ndarray",
+    comm_factors: "np.ndarray",
+) -> "np.ndarray":
+    """Iteration times of ``K`` multiplicatively perturbed runs of a graph.
+
+    ``compute_factors`` is ``(K, num_devices)`` — per-draw multipliers on
+    every compute duration executed by each device (``(K,)`` broadcasts
+    one uniform compute factor per draw) — and ``comm_factors`` is
+    ``(K,)``, multiplying every communication cost (rendezvous
+    exchanges, eager wire transfers and latencies).  All ``K`` perturbed
+    evaluations run in one ``run_batch``-style level relaxation over the
+    shared structure, so a robustness profile of a DES schedule costs
+    about one batched pass.  A row of all-ones factors is bit-identical
+    to ``graph.run().iteration_time`` (``x * 1.0 == x`` bitwise), which
+    tests/robustness/test_perturbation.py pins.
+    """
+    compute_factors = np.asarray(compute_factors, dtype=np.float64)
+    comm_factors = np.ascontiguousarray(comm_factors, dtype=np.float64)
+    if comm_factors.ndim != 1:
+        raise ValueError(
+            f"comm_factors must be a (K,) vector, got shape "
+            f"{comm_factors.shape}"
+        )
+    k = comm_factors.shape[0]
+    if compute_factors.ndim == 1:
+        compute_factors = np.broadcast_to(
+            compute_factors[:, None], (compute_factors.shape[0], graph.num_devices)
+        )
+    if compute_factors.shape != (k, graph.num_devices):
+        raise ValueError(
+            f"compute_factors must have shape ({k}, {graph.num_devices}), "
+            f"got {compute_factors.shape}"
+        )
+    for arr in (compute_factors, comm_factors):
+        if not np.all(np.isfinite(arr)) or arr.min(initial=1.0) <= 0:
+            raise ValueError("perturbation factors must be finite and > 0")
+    structure = graph.structure
+    if structure.num_nodes == 0:
+        return np.zeros(k)
+    node_dev, node_is_comm, src_lvl, edge_dep = _perturb_plan(structure)
+    node_factor = np.where(
+        node_is_comm[None, :],
+        comm_factors[:, None],
+        compute_factors[:, node_dev],
+    )
+    node_add = graph.node_add_lvl[None, :] * node_factor
+    if structure.num_edges:
+        edge_factor = np.where(
+            edge_dep[None, :], comm_factors[:, None], node_factor[:, src_lvl]
+        )
+        edge_w = graph.edge_w_lvl[None, :] * edge_factor
+    else:
+        edge_w = np.zeros((k, 0))
+    base = np.zeros((k, structure.num_nodes))
+    for lo, hi, e0, e1, src, off in structure.levels:
+        cand = base[:, src]
+        cand += edge_w[:, e0:e1]
+        base[:, lo:hi] = np.maximum.reduceat(cand, off, axis=1)
+    end = base + node_add
+    return end.max(axis=1)
 
 
 def execute_batch(

@@ -1,11 +1,14 @@
 """SweepRunner: ordering, caching, invalidation and the parallel path."""
 
 import pickle
+import random
 
+import numpy as np
 import pytest
 
 from repro.experiments.runner import (
     SweepRunner,
+    cell_seed,
     default_runner,
     set_default_runner,
 )
@@ -17,6 +20,11 @@ def square(x):
 
 def pair(a, b):
     return (a, b)
+
+
+def noisy(x):
+    """A cell consuming *global* RNG state — the determinism hazard."""
+    return (x, random.random(), float(np.random.random()))
 
 
 class TestInline:
@@ -94,6 +102,31 @@ class TestParallel:
         again = SweepRunner(jobs=2, cache_dir=tmp_path)
         assert again.run(square, [(1,), (2,), (3,)]) == [1, 4, 9]
         assert again.cache_hits == 3
+
+
+class TestSeedDeterminism:
+    def test_inline_pooled_and_replayed_are_bit_identical(self, tmp_path):
+        """A cell result must not depend on how it was executed."""
+        cells = [(i,) for i in range(4)]
+        inline = SweepRunner(jobs=1).run(noisy, cells)
+        pooled = SweepRunner(jobs=3).run(noisy, cells)
+        cached = SweepRunner(jobs=1, cache_dir=tmp_path)
+        first = cached.run(noisy, cells)
+        replayed = cached.run(noisy, cells)
+        assert cached.cache_hits == len(cells)
+        assert inline == pooled == first == replayed
+
+    def test_repeated_inline_runs_are_identical(self):
+        """Seeding per cell, not per sweep: no leakage between runs."""
+        a = SweepRunner().run(noisy, [(1,), (2,)])
+        b = SweepRunner().run(noisy, [(2,), (1,)])
+        assert a[0] == b[1] and a[1] == b[0]
+
+    def test_seed_depends_on_cell_identity_not_source(self):
+        assert cell_seed(noisy, (1,)) != cell_seed(noisy, (2,))
+        assert cell_seed(noisy, (1,)) != cell_seed(square, (1,))
+        # Stable across calls (and, by construction, across processes).
+        assert cell_seed(noisy, (1,)) == cell_seed(noisy, (1,))
 
 
 class TestDefaultRunner:

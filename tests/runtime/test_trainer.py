@@ -1,9 +1,18 @@
 """Runtime trainer and metrics tests."""
 
+import math
+
 import pytest
 
 from repro.core.balance_dp import balanced_partition
-from repro.runtime.metrics import balance_improvement, balance_std, speedup
+from repro.runtime.metrics import (
+    balance_improvement,
+    balance_std,
+    p95,
+    p95_regret,
+    robust_speedup,
+    speedup,
+)
 from repro.runtime.trainer import run_iteration, run_pipeline
 
 
@@ -48,14 +57,44 @@ class TestRunIteration:
 class TestMetrics:
     def test_speedup(self):
         assert speedup(2.0, 1.0) == 2.0
-        with pytest.raises(ValueError):
-            speedup(1.0, 0.0)
 
-    def test_speedup_rejects_non_positive_baseline(self):
+    def test_speedup_degenerate_inputs_warn_not_raise(self):
+        """One deadlocked/broken cell must not abort a whole sweep."""
+        with pytest.warns(RuntimeWarning):
+            assert speedup(1.0, 0.0) == 0.0
+        with pytest.warns(RuntimeWarning):
+            assert speedup(0.0, 1.0) == 0.0
+        with pytest.warns(RuntimeWarning):
+            assert speedup(-2.0, 1.0) == 0.0
+
+    def test_speedup_non_finite_sentinels(self):
+        inf = float("inf")
+        nan = float("nan")
+        # Deadlocked candidate: infinitely slower, silently 0.
+        assert speedup(1.0, inf) == 0.0
+        # Deadlocked baseline, working candidate: infinite speedup.
+        assert speedup(inf, 1.0) == inf
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(speedup(inf, inf))
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(speedup(nan, 1.0))
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(speedup(1.0, nan))
+
+    def test_p95_and_regret(self):
+        samples = list(range(1, 101))
+        assert p95(samples) == pytest.approx(95.05)
+        assert p95_regret(samples, samples) == 0.0
+        worse = [2 * s for s in samples]
+        assert p95_regret(worse, samples) == pytest.approx(1.0)
         with pytest.raises(ValueError):
-            speedup(0.0, 1.0)
-        with pytest.raises(ValueError):
-            speedup(-2.0, 1.0)
+            p95([])
+
+    def test_robust_speedup(self):
+        base = [2.0, 2.0, 4.0]
+        cand = [1.0, 1.0, 2.0]
+        assert robust_speedup(base, cand, "max") == 2.0
+        assert robust_speedup(base, cand, "mean") == pytest.approx(2.0)
 
     def test_balance_std(self):
         assert balance_std([1.0, 1.0, 1.0]) == 0.0

@@ -108,12 +108,13 @@ class TestAgainstAnalyticSim:
             flat_profile, p, m, comm_mode="paper"
         ).iteration_time
         assert edges <= des * 1.001
-        if m >= stages:
+        if m > stages:
             assert des <= paper * 1.05
         else:
-            # Degenerate pipelines (fewer micro-batches than stages) are
-            # dominated by rendezvous blocking the analytic models skip;
-            # bound the gap by the total communication budget instead.
+            # Shallow pipelines (micro-batches not exceeding stages) have
+            # no steady phase to amortise rendezvous blocking, which the
+            # analytic models skip; bound the gap by the total
+            # communication budget instead.
             comm_budget = 4 * stages * (m + stages) * flat_profile.comm_time
             assert des <= edges + comm_budget
 

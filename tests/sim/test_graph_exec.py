@@ -30,6 +30,7 @@ from repro.sim.graph_exec import (
     execute_batch,
     execute_fast,
     run_batch,
+    run_perturbed,
 )
 
 DEPTH = 4
@@ -114,6 +115,57 @@ def test_run_batch_rejects_mixed_structures(cluster):
     b = compile_graph(other, cluster, device_map=cluster.pipeline_devices(2))
     with pytest.raises(ValueError):
         run_batch([a, b])
+
+
+class TestRunPerturbed:
+    def test_all_ones_is_nominal_bitwise(self, cluster):
+        """Unit factors reproduce the nominal DES end-to-end time exactly."""
+        import numpy as np
+
+        for method in ("1f1b", "gpipe"):
+            sched, _ = _schedule(method=method)
+            graph = compile_graph(sched, cluster, device_map=_devices(cluster))
+            nominal = graph.run().iteration_time
+            times = run_perturbed(
+                graph, np.ones((3, DEPTH)), np.ones(3)
+            )
+            assert times.shape == (3,)
+            assert np.all(times == nominal)
+
+    def test_uniform_scaling_is_homogeneous(self, cluster):
+        """Scaling every duration by 2 scales the makespan by exactly 2."""
+        import numpy as np
+
+        sched, _ = _schedule()
+        graph = compile_graph(sched, cluster, device_map=_devices(cluster))
+        nominal = graph.run().iteration_time
+        times = run_perturbed(
+            graph, np.full((1, DEPTH), 2.0), np.full(1, 2.0)
+        )
+        assert times[0] == 2.0 * nominal
+
+    def test_straggler_device_slows_iteration(self, cluster):
+        import numpy as np
+
+        sched, _ = _schedule()
+        graph = compile_graph(sched, cluster, device_map=_devices(cluster))
+        nominal = graph.run().iteration_time
+        compute = np.ones((1, DEPTH))
+        compute[0, DEPTH - 1] = 1.5
+        times = run_perturbed(graph, compute, np.ones(1))
+        assert times[0] > nominal
+
+    def test_rejects_bad_shapes_and_values(self, cluster):
+        import numpy as np
+
+        sched, _ = _schedule()
+        graph = compile_graph(sched, cluster, device_map=_devices(cluster))
+        with pytest.raises(ValueError):
+            run_perturbed(graph, np.ones((2, DEPTH + 1)), np.ones(2))
+        with pytest.raises(ValueError):
+            run_perturbed(graph, np.ones((2, DEPTH)), np.ones(3))
+        with pytest.raises(ValueError):
+            run_perturbed(graph, np.zeros((1, DEPTH)), np.ones(1))
 
 
 def test_execute_batch_preserves_input_order(cluster):

@@ -23,3 +23,38 @@ def test_table2_runs(capsys):
     out = capsys.readouterr().out
     assert "Table II" in out
     assert "6.5" in out
+
+
+class _Boom:
+    @staticmethod
+    def main():
+        raise RuntimeError("cell deadlocked")
+
+
+class _Fine:
+    ran = False
+
+    @classmethod
+    def main(cls):
+        cls.ran = True
+
+
+def test_failing_experiment_exits_nonzero(monkeypatch, capsys):
+    """A crash inside an experiment must surface as a non-zero exit."""
+    monkeypatch.setitem(ALL_EXPERIMENTS, "boom", _Boom)
+    assert main(["boom"]) == 1
+    err = capsys.readouterr().err
+    assert "cell deadlocked" in err
+    assert "'boom' failed" in err
+
+
+def test_all_reports_failures_but_keeps_going(monkeypatch, capsys):
+    """'all' finishes the other experiments and names the failed ones."""
+    _Fine.ran = False
+    monkeypatch.setattr(
+        "repro.cli.ALL_EXPERIMENTS", {"boom": _Boom, "fine": _Fine}
+    )
+    assert main(["all"]) == 1
+    err = capsys.readouterr().err
+    assert _Fine.ran  # the crash did not stop the sweep
+    assert "1/2 experiments failed: boom" in err
