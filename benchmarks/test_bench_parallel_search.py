@@ -1,0 +1,166 @@
+"""Multiprocess-oracle bench: sharded branch-and-bound vs serial, the
+persistent plan cache's warm-hit latency, and the cluster autotuner.
+
+Writes the ``parallel_oracle`` and ``autotune`` sections of
+``BENCH_search.json``.  Guards backing the PR's acceptance criteria:
+
+* ``jobs`` in {2, 4} must return the *bit-identical* argmin of the
+  serial search (always asserted);
+* on a machine with >= 4 cores, ``jobs=4`` must cut the depth-8
+  per-node oracle's wall clock by >= 2x (a single-core container can
+  only demonstrate parity, so the speedup guard is gated on
+  ``os.cpu_count()`` — the recorded numbers stay honest either way);
+* a warm plan-cache hit must replay the stored result in < 10 ms
+  without running a single simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_and_print
+from benchmarks.test_bench_ablation_search import merge_into_search_results
+from benchmarks.test_bench_incremental import TINY12, _best_of
+from repro.config import TrainConfig
+from repro.core.exhaustive import exhaustive_partition
+from repro.core.plan_cache import PlanCache
+from repro.core.strategy import autotune_config
+from repro.experiments.common import ExperimentResult
+from repro.hardware.device import DEFAULT_CLUSTER_HW
+from repro.profiling import profile_model
+
+#: the depth-8 guard row runs the per-node pruned path (the incremental
+#: default finishes the whole search in ~30 ms — too little work to
+#: amortise a process pool, so the fan-out is benched where it matters).
+_DEPTH, _M = 8, 32
+
+
+def _tiny12_profile():
+    train = TrainConfig(micro_batch_size=4, global_batch_size=4 * _M)
+    return profile_model(TINY12, DEFAULT_CLUSTER_HW, train)
+
+
+def run_parallel_oracle():
+    profile = _tiny12_profile()
+    result = ExperimentResult(
+        name=f"Multiprocess oracle: tiny12, depth {_DEPTH}, m={_M}, "
+             "per-node pruned path",
+        headers=["jobs", "wall (ms)", "speedup", "workers", "evals",
+                 "identical"],
+    )
+    kwargs = dict(comm_mode="paper", incremental=False)
+    serial = exhaustive_partition(profile, _DEPTH, _M, **kwargs)
+    serial_s = _best_of(
+        lambda: exhaustive_partition(profile, _DEPTH, _M, **kwargs)
+    )
+    result.rows.append([
+        1, f"{serial_s * 1e3:.1f}", "1.0x", 1, serial.evaluations, "yes",
+    ])
+    for jobs in (2, 4):
+        parallel = exhaustive_partition(profile, _DEPTH, _M, jobs=jobs,
+                                        **kwargs)
+        assert parallel.partition.sizes == serial.partition.sizes
+        assert parallel.iteration_time == serial.iteration_time  # bitwise
+        par_s = _best_of(
+            lambda: exhaustive_partition(profile, _DEPTH, _M, jobs=jobs,
+                                         **kwargs)
+        )
+        result.rows.append([
+            jobs, f"{par_s * 1e3:.1f}", f"{serial_s / par_s:.1f}x",
+            parallel.jobs, parallel.evaluations, "yes",
+        ])
+    return result
+
+
+def test_bench_parallel_oracle(benchmark, tmp_path):
+    result = run_and_print(benchmark, run_parallel_oracle)
+    speedups = {row[0]: float(row[2].rstrip("x")) for row in result.rows}
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert speedups[4] >= 2.0, (
+            f"jobs=4 managed only {speedups[4]:.1f}x on {cores} cores "
+            "— the sharded oracle fell below the 2x bar"
+        )
+
+    # Plan-cache warm-hit latency on the same search.
+    cache = PlanCache(tmp_path)
+    profile = _tiny12_profile()
+    cold = exhaustive_partition(profile, _DEPTH, _M, incremental=False,
+                                cache=cache)
+    warm_s = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        warm = exhaustive_partition(profile, _DEPTH, _M, incremental=False,
+                                    cache=cache)
+        warm_s = min(warm_s, time.perf_counter() - t0)
+    assert warm == cold
+    assert cache.hits >= 5
+    assert warm_s < 0.010, (
+        f"warm plan-cache hit took {warm_s * 1e3:.2f} ms — above the "
+        "10 ms acceptance bar"
+    )
+    print(f"\nplan cache warm hit: {warm_s * 1e3:.2f} ms "
+          f"(cold search: {cold.search_seconds * 1e3:.1f} ms)")
+
+    merge_into_search_results("parallel_oracle", {
+        "setting": f"tiny12 (27 blocks), depth {_DEPTH}, m={_M}, "
+                   "per-node pruned path, shared-incumbent sharding",
+        "cores": cores,
+        "rows": [
+            {
+                "jobs": row[0], "wall_ms": float(row[1]),
+                "speedup": float(row[2].rstrip("x")),
+                "pool_workers": row[3], "evaluations": row[4],
+                "identical_to_serial": row[5] == "yes",
+            }
+            for row in result.rows
+        ],
+        "plan_cache": {
+            "warm_hit_ms": round(warm_s * 1e3, 3),
+            "cold_search_ms": round(cold.search_seconds * 1e3, 1),
+            "simulations_on_hit": 0,
+        },
+    })
+
+
+def run_autotune_bench():
+    profile = _tiny12_profile()
+    t0 = time.perf_counter()
+    tuned = autotune_config(profile, 4)
+    wall = time.perf_counter() - t0
+    result = ExperimentResult(
+        name="Autotune: joint (dp x pp x slices) search, tiny12, 4 GPUs",
+        headers=["layout", "slices", "planner", "iter (ms)", "status"],
+    )
+    for c in tuned.candidates:
+        result.rows.append([
+            str(c.layout), c.slice_count, c.planner or "-",
+            f"{c.iteration_seconds * 1e3:.2f}" if c.ok else "-",
+            c.status,
+        ])
+    result.meta["best"] = {
+        "layout": str(tuned.best.layout),
+        "slices": tuned.best.slice_count,
+        "planner": tuned.best.planner,
+        "iteration_ms": round(tuned.best.iteration_seconds * 1e3, 3),
+    }
+    result.meta["wall_seconds"] = wall
+    result.meta["layouts"] = tuned.layouts_searched
+    return result
+
+
+def test_bench_autotune(benchmark):
+    result = run_and_print(benchmark, run_autotune_bench)
+    assert any(row[4] == "ok" for row in result.rows)
+    # The joint search must not be slower than re-running every layout
+    # would suggest: a few seconds on the 27-block model.
+    assert result.meta["wall_seconds"] < 30.0
+    merge_into_search_results("autotune", {
+        "setting": "tiny12 (27 blocks), 4 GPUs, joint "
+                   "(dp x pp x slice-count) search, DES-executed",
+        "best": result.meta["best"],
+        "wall_seconds": round(result.meta["wall_seconds"], 3),
+        "layouts_searched": result.meta["layouts"],
+        "candidates": len(result.rows),
+    })

@@ -12,6 +12,8 @@ import sys
 import traceback
 from typing import List, Optional
 
+from repro.core.parallel_search import set_default_plan_jobs
+from repro.core.plan_cache import PlanCache, set_default_plan_cache
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.runner import SweepRunner, set_default_runner
 
@@ -36,13 +38,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="directory for the on-disk sweep result cache (default: off)",
     )
+    parser.add_argument(
+        "--plan-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the partition oracle's branch-and-bound "
+             "(default: 1, serial; any N is bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--plan-cache-dir",
+        default=None,
+        help="directory for the persistent plan cache shared across runs "
+             "(default: off)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="purge the sweep and plan caches before running",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.plan_jobs < 1:
+        parser.error(f"--plan-jobs must be >= 1, got {args.plan_jobs}")
+    runner = None
     if args.jobs != 1 or args.cache_dir is not None:
-        set_default_runner(
+        runner = set_default_runner(
             SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir)
         )
+    if args.plan_jobs != 1:
+        set_default_plan_jobs(args.plan_jobs)
+    plan_cache = None
+    if args.plan_cache_dir is not None:
+        plan_cache = set_default_plan_cache(PlanCache(args.plan_cache_dir))
+    if args.clear_cache:
+        purged = 0
+        if runner is not None:
+            purged += runner.purge()
+        if plan_cache is not None:
+            purged += plan_cache.purge()
+        print(f"cleared {purged} cached entries", file=sys.stderr)
 
     if args.experiment == "list":
         for name in ALL_EXPERIMENTS:

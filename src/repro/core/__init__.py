@@ -11,7 +11,17 @@ from repro.core.analytic_sim import (
 from repro.core.autopipe import AutoPipeSolution, autopipe_plan
 from repro.core.balance_dp import balanced_partition, min_max_partition
 from repro.core.exhaustive import ExhaustiveResult, exhaustive_partition
+from repro.core.parallel_search import (
+    ParallelUnavailable,
+    default_plan_jobs,
+    set_default_plan_jobs,
+)
 from repro.core.partition import PartitionScheme, StageTimes, stage_times
+from repro.core.plan_cache import (
+    PlanCache,
+    default_plan_cache,
+    set_default_plan_cache,
+)
 from repro.core.planner import (
     PlannerResult,
     SimCache,
@@ -19,7 +29,12 @@ from repro.core.planner import (
     plan_partition,
 )
 from repro.core.slicer import SlicePlan, solve_slice_count
-from repro.core.strategy import autopipe_config
+from repro.core.strategy import (
+    AutotuneCandidate,
+    AutotuneResult,
+    autopipe_config,
+    autotune_config,
+)
 
 __all__ = [
     "PipelineSim",
@@ -34,14 +49,23 @@ __all__ = [
     "min_max_partition",
     "ExhaustiveResult",
     "exhaustive_partition",
+    "ParallelUnavailable",
+    "default_plan_jobs",
+    "set_default_plan_jobs",
     "PartitionScheme",
     "StageTimes",
     "stage_times",
+    "PlanCache",
+    "default_plan_cache",
+    "set_default_plan_cache",
     "PlannerResult",
     "SimCache",
     "default_sim_cache",
     "plan_partition",
     "SlicePlan",
     "solve_slice_count",
+    "AutotuneCandidate",
+    "AutotuneResult",
     "autopipe_config",
+    "autotune_config",
 ]

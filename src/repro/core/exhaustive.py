@@ -137,6 +137,12 @@ class ExhaustiveResult:
     #: ``robust=`` (statistic over the perturbation draws); None for the
     #: nominal objective.
     robust_value: Optional[float] = None
+    #: worker processes the search ran on (1 = in-process serial).
+    jobs: int = 1
+    #: top-level cut subtrees processed per worker process when
+    #: ``jobs > 1`` (sorted descending; empty for serial searches).  The
+    #: parallel bench and autotune logs use this to show shard balance.
+    worker_subtrees: Tuple[int, ...] = ()
 
     @property
     def iteration_time(self) -> float:
@@ -146,6 +152,13 @@ class ExhaustiveResult:
     def pruned(self) -> int:
         """Candidates eliminated by bounds without any simulation."""
         return self.space - self.evaluations - self.cache_hits
+
+    @property
+    def sims_per_second(self) -> float:
+        """Search throughput: full simulations per wall-clock second."""
+        if self.search_seconds <= 0:
+            return 0.0
+        return self.evaluations / self.search_seconds
 
 
 def iter_partitions(num_blocks: int, num_stages: int) -> Iterator[Tuple[int, ...]]:
@@ -179,20 +192,35 @@ class _SearchState:
     update rule here breaks time ties toward the lexicographically
     smaller ``sizes`` tuple — equivalent to the brute force's rule for
     any evaluation order that covers the same candidates.
+
+    ``bound`` is the value the pruning tests compare against.  Serially
+    it always equals ``best_time``.  Under the multiprocess oracle a
+    worker's state additionally tracks the cluster-wide incumbent
+    published through ``shared`` (a
+    :class:`~repro.core.parallel_search.SharedBound` over a
+    ``multiprocessing.Value``): :meth:`sync` — called between chunk
+    flushes — publishes the local best and pulls the global minimum into
+    ``bound``.  Pruning against another worker's incumbent is exact for
+    the same reason warm seeds are: the bound is a *simulated* candidate
+    time, so any subtree it discards holds only candidates provably
+    worse than the final optimum (ties always survive because the prune
+    test requires ``lb > bound * slack >= final_best``).
     """
 
     __slots__ = (
         "best_time", "best_sizes", "evaluations", "cache_hits",
-        "suffix_sims", "dominance_pruned",
+        "suffix_sims", "dominance_pruned", "bound", "shared",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, shared=None) -> None:
         self.best_time = float("inf")
         self.best_sizes: Optional[Tuple[int, ...]] = None
         self.evaluations = 0
         self.cache_hits = 0
         self.suffix_sims = 0
         self.dominance_pruned = 0
+        self.shared = shared
+        self.bound = shared.peek() if shared is not None else float("inf")
 
     def offer(self, sizes: Tuple[int, ...], t: float) -> None:
         if t < self.best_time or (
@@ -200,6 +228,16 @@ class _SearchState:
         ):
             self.best_time = t
             self.best_sizes = sizes
+        if self.best_time < self.bound:
+            self.bound = self.best_time
+
+    def sync(self) -> None:
+        """Exchange incumbents with the other workers (no-op serially)."""
+        if self.shared is not None:
+            self.shared.publish(self.best_time)
+            g = self.shared.peek()
+            if g < self.bound:
+                self.bound = g
 
 
 def _stage_sums(
@@ -225,10 +263,19 @@ def _search_brute(
     comm_mode: str,
     sim_cache: Optional[SimCache],
     state: _SearchState,
+    first_sizes: Optional[frozenset] = None,
 ) -> None:
-    """The literal brute force: one scalar simulation per candidate."""
+    """The literal brute force: one scalar simulation per candidate.
+
+    ``first_sizes`` restricts enumeration to candidates whose first
+    stage holds one of the given block counts — the multiprocess
+    oracle's shard shape (each worker covers a disjoint subset; their
+    union is the full space).
+    """
     n = len(fwd)
     for sizes in iter_partitions(n, num_stages):
+        if first_sizes is not None and sizes[0] not in first_sizes:
+            continue
         f_stages, b_stages = _stage_sums(fwd, bwd, sizes)
         times = StageTimes(f_stages, b_stages, comm)
         sim = sim_cache.peek(times, num_micro_batches, comm_mode) \
@@ -253,6 +300,7 @@ def _search_robust(
     state: _SearchState,
     chunk_size: int,
     robust: RobustObjective,
+    first_sizes: Optional[frozenset] = None,
 ) -> None:
     """Exact robust oracle: chunked batched brute force over all candidates.
 
@@ -266,7 +314,11 @@ def _search_robust(
     x draws), bounding peak memory.  ``offer`` runs per candidate in
     enumeration order, so the argmin semantics (first lexicographic
     candidate achieving the minimum objective) match the nominal brute
-    force's.
+    force's.  ``first_sizes`` shards the enumeration by first-stage
+    size for the multiprocess oracle; per-candidate objective values
+    are independent of chunk composition (the batched relaxation is
+    row-independent), so sharded values are bitwise those of the full
+    sweep.
     """
     n = len(fwd)
     factors = robust.factors(num_stages)
@@ -291,6 +343,8 @@ def _search_robust(
         b_buf.clear()
 
     for sizes in iter_partitions(n, num_stages):
+        if first_sizes is not None and sizes[0] not in first_sizes:
+            continue
         f_stages, b_stages = _stage_sums(fwd, bwd, sizes)
         sizes_buf.append(sizes)
         f_buf.append(f_stages)
@@ -311,8 +365,16 @@ def _search_pruned(
     state: _SearchState,
     chunk_size: int,
     prune_slack: float,
+    first_sizes: Optional[frozenset] = None,
+    preset_warm: Optional[Dict[Tuple[int, ...], float]] = None,
 ) -> None:
     """Branch-and-bound over cut positions with batched leaf evaluation.
+
+    ``first_sizes`` restricts the top-level descent to the given
+    first-stage sizes (one multiprocess shard); ``preset_warm`` replaces
+    the in-search seed evaluation with already-simulated (sizes -> time)
+    incumbents — the parallel driver evaluates the seeds once in the
+    parent and hands every worker the same warm set.
 
     Lower bounds (all provable for both comm modes, which charge at least
     ``Comm`` on every cross-stage dependency edge):
@@ -417,21 +479,27 @@ def _search_pruned(
         for j, (sizes, _, _) in enumerate(buffer):
             state.offer(sizes, resolved[j])
         buffer.clear()
+        state.sync()
 
     # Warm start: the Algorithm-1 min-max seed gives a strong incumbent
     # before the DFS begins, so the bounds prune from candidate one.
-    seed = tuple(min_max_partition(weights, p))
-    seed_f, seed_b = _stage_sums(fwd, bwd, seed)
-    seed_times = StageTimes(seed_f, seed_b, comm)
-    seed_sim = sim_cache.peek(seed_times, m, comm_mode) \
-        if sim_cache is not None else None
-    if seed_sim is not None:
-        state.cache_hits += 1
+    if preset_warm is not None:
+        for seed, t in preset_warm.items():
+            warm[seed] = t
+            state.offer(seed, t)
     else:
-        seed_sim = PipelineSim(seed_times, m, comm_mode=comm_mode).run()
-        state.evaluations += 1
-    warm[seed] = seed_sim.iteration_time
-    state.offer(seed, seed_sim.iteration_time)
+        seed = tuple(min_max_partition(weights, p))
+        seed_f, seed_b = _stage_sums(fwd, bwd, seed)
+        seed_times = StageTimes(seed_f, seed_b, comm)
+        seed_sim = sim_cache.peek(seed_times, m, comm_mode) \
+            if sim_cache is not None else None
+        if seed_sim is not None:
+            state.cache_hits += 1
+        else:
+            seed_sim = PipelineSim(seed_times, m, comm_mode=comm_mode).run()
+            state.evaluations += 1
+        warm[seed] = seed_sim.iteration_time
+        state.offer(seed, seed_sim.iteration_time)
 
     def descend(
         s: int,
@@ -451,7 +519,7 @@ def _search_pruned(
                 base_rt + tail(s, f_sum, b_sum),
                 floor,
             )
-            if lb > state.best_time * prune_slack:
+            if lb > state.bound * prune_slack:
                 return
             buffer.append(
                 (sizes + (n - pos,), f_stages + (f_sum,), b_stages + (b_sum,))
@@ -463,6 +531,7 @@ def _search_pruned(
         base = prefw[pos] + 2 * s * comm
         f_sum = 0.0
         b_sum = 0.0
+        restrict = first_sizes if s == 0 else None
         for size in range(1, max_size + 1):
             # Incremental accumulation == sum(fwd[pos:pos+size]) exactly.
             f_sum += fwd[pos + size - 1]
@@ -472,10 +541,12 @@ def _search_pruned(
                 base + m * (f_sum + b_sum),
                 base_rt + tail(s, f_sum, b_sum),
             )
-            if new_fixed > state.best_time * prune_slack:
+            if new_fixed > state.bound * prune_slack:
                 # Both fixed-stage bounds grow with the stage, so every
                 # larger size for this stage is pruned too.
                 break
+            if restrict is not None and size not in restrict:
+                continue
             pos2 = pos + size
             rem = rem_stages - 1
             rem_bound = prefw[pos2] + 2 * (s + 1) * comm \
@@ -484,7 +555,7 @@ def _search_pruned(
                 rem_bound = max(
                     rem_bound, base_rt + (m - rem) * minmax[rem][pos2]
                 )
-            if max(new_fixed, rem_bound, floor) > state.best_time * prune_slack:
+            if max(new_fixed, rem_bound, floor) > state.bound * prune_slack:
                 continue
             descend(
                 s + 1, pos2, sizes + (size,),
@@ -507,6 +578,8 @@ def _search_incremental(
     chunk_size: int,
     prune_slack: float,
     extra_seeds: Sequence[Tuple[int, ...]] = (),
+    first_sizes: Optional[frozenset] = None,
+    preset_warm: Optional[Dict[Tuple[int, ...], float]] = None,
 ) -> None:
     """Prefix-state branch-and-bound (the fast exact oracle path).
 
@@ -551,6 +624,14 @@ def _search_incremental(
       without affecting exactness: seeds are offered through the same
       tie-breaking rule, and a tighter incumbent only ever prunes
       candidates whose true time provably exceeds the final best.
+
+    ``first_sizes`` / ``preset_warm`` serve the multiprocess oracle
+    exactly as in :func:`_search_pruned`: the former restricts the
+    top-level children to one shard's first-stage sizes, the latter
+    substitutes parent-evaluated seed incumbents for the in-search seed
+    evaluation.  Prune tests compare against ``state.bound`` — locally
+    identical to the incumbent, and additionally tightened by the
+    cluster-wide bound between chunk flushes when sharded.
     """
     n = len(fwd)
     p = num_stages
@@ -748,32 +829,38 @@ def _search_incremental(
         )
         state.offer(best_sizes, best_t)
         buffer.clear()
+        state.sync()
 
     # Warm start: the Algorithm-1 seed (identical to _search_pruned's)
     # plus any caller-provided candidates (the planner's partition); the
     # tighter the initial incumbent, the more the bounds prune.
-    seeds: List[Tuple[int, ...]] = [tuple(min_max_partition(weights, p))]
-    for extra in extra_seeds:
-        extra = tuple(extra)
-        if (
-            extra not in seeds
-            and len(extra) == p
-            and sum(extra) == n
-            and all(sz >= 1 for sz in extra)
-        ):
-            seeds.append(extra)
-    for seed in seeds:
-        seed_f, seed_b = _stage_sums(fwd, bwd, seed)
-        seed_times = StageTimes(seed_f, seed_b, comm)
-        seed_sim = sim_cache.peek(seed_times, m, comm_mode) \
-            if sim_cache is not None else None
-        if seed_sim is not None:
-            state.cache_hits += 1
-        else:
-            seed_sim = PipelineSim(seed_times, m, comm_mode=comm_mode).run()
-            state.evaluations += 1
-        warm[seed] = seed_sim.iteration_time
-        state.offer(seed, seed_sim.iteration_time)
+    if preset_warm is not None:
+        for seed, t in preset_warm.items():
+            warm[seed] = t
+            state.offer(seed, t)
+    else:
+        seeds: List[Tuple[int, ...]] = [tuple(min_max_partition(weights, p))]
+        for extra in extra_seeds:
+            extra = tuple(extra)
+            if (
+                extra not in seeds
+                and len(extra) == p
+                and sum(extra) == n
+                and all(sz >= 1 for sz in extra)
+            ):
+                seeds.append(extra)
+        for seed in seeds:
+            seed_f, seed_b = _stage_sums(fwd, bwd, seed)
+            seed_times = StageTimes(seed_f, seed_b, comm)
+            seed_sim = sim_cache.peek(seed_times, m, comm_mode) \
+                if sim_cache is not None else None
+            if seed_sim is not None:
+                state.cache_hits += 1
+            else:
+                seed_sim = PipelineSim(seed_times, m, comm_mode=comm_mode).run()
+                state.evaluations += 1
+            warm[seed] = seed_sim.iteration_time
+            state.offer(seed, seed_sim.iteration_time)
 
     # The dominance memo can only ever fire when two different cut
     # prefixes produce identical per-stage sum tuples — with all-distinct
@@ -799,7 +886,7 @@ def _search_incremental(
             lb = leaf_lb[pos]
             if fixed_bound > lb:
                 lb = fixed_bound
-            if lb > state.best_time * prune_slack:
+            if lb > state.bound * prune_slack:
                 return
             last = n - pos - 1
             buffer.append((
@@ -820,7 +907,8 @@ def _search_incremental(
         fixb, remb = get_table(s, pos)
         sf = slice_f[pos]
         sb = slice_b[pos]
-        limit = state.best_time * prune_slack
+        restrict = first_sizes if s == 0 else None
+        limit = state.bound * prune_slack
         if fixed_bound > limit:
             return
         # fixb is monotone nondecreasing: every child past the insertion
@@ -833,7 +921,9 @@ def _search_incremental(
             # one compare admits or rejects the candidate.
             idx = 0
             while idx < hi:
-                if remb[idx] <= limit:
+                if remb[idx] <= limit and (
+                    restrict is None or idx + 1 in restrict
+                ):
                     pos2 = pos + idx + 1
                     last = n - pos2 - 1
                     buffer.append((
@@ -843,7 +933,7 @@ def _search_incremental(
                     ))
                     if len(buffer) >= chunk_size:
                         flush()
-                        limit = state.best_time * prune_slack
+                        limit = state.bound * prune_slack
                         if fixed_bound > limit:
                             return
                         hi = bisect_right(fixb, limit, 0, hi)
@@ -851,7 +941,9 @@ def _search_incremental(
             return
         idx = 0
         while idx < hi:
-            if remb[idx] <= limit:
+            if remb[idx] <= limit and (
+                restrict is None or idx + 1 in restrict
+            ):
                 nf = fixb[idx]
                 size = idx + 1
                 descend(
@@ -859,7 +951,7 @@ def _search_incremental(
                     f_stages + (sf[idx],), b_stages + (sb[idx],),
                     nf if nf > fixed_bound else fixed_bound,
                 )
-                new_limit = state.best_time * prune_slack
+                new_limit = state.bound * prune_slack
                 if new_limit != limit:
                     # A flush inside the subtree tightened the incumbent.
                     limit = new_limit
@@ -870,6 +962,54 @@ def _search_incremental(
 
     descend(0, 0, (), (), (), 0.0)
     flush()
+
+
+def _evaluate_seeds(
+    fwd: Sequence[float],
+    bwd: Sequence[float],
+    comm: float,
+    num_stages: int,
+    num_micro_batches: int,
+    comm_mode: str,
+    sim_cache: Optional[SimCache],
+    state: _SearchState,
+    extra_seeds: Sequence[Tuple[int, ...]],
+) -> Dict[Tuple[int, ...], float]:
+    """Parent-side warm-seed evaluation for the multiprocess oracle.
+
+    Replicates the serial searches' in-search seed block — the same
+    Algorithm-1 seed, the same extra-seed validation, the same scalar
+    simulations counted on ``state`` — so the sharded search starts from
+    the identical incumbent and no worker re-simulates a seed.  The
+    returned ``(sizes -> time)`` map rides to every worker as
+    ``preset_warm``.
+    """
+    n = len(fwd)
+    weights = [f + b for f, b in zip(fwd, bwd)]
+    seeds: List[Tuple[int, ...]] = [tuple(min_max_partition(weights, num_stages))]
+    for extra in extra_seeds:
+        extra = tuple(extra)
+        if (
+            extra not in seeds
+            and len(extra) == num_stages
+            and sum(extra) == n
+            and all(sz >= 1 for sz in extra)
+        ):
+            seeds.append(extra)
+    warm: Dict[Tuple[int, ...], float] = {}
+    for seed in seeds:
+        seed_f, seed_b = _stage_sums(fwd, bwd, seed)
+        times = StageTimes(seed_f, seed_b, comm)
+        sim = sim_cache.peek(times, num_micro_batches, comm_mode) \
+            if sim_cache is not None else None
+        if sim is not None:
+            state.cache_hits += 1
+        else:
+            sim = PipelineSim(times, num_micro_batches, comm_mode=comm_mode).run()
+            state.evaluations += 1
+        warm[seed] = sim.iteration_time
+        state.offer(seed, sim.iteration_time)
+    return warm
 
 
 def exhaustive_partition(
@@ -886,6 +1026,8 @@ def exhaustive_partition(
     chunk_size: int = _DEFAULT_CHUNK,
     prune_slack: float = _PRUNE_SLACK,
     robust: Optional[RobustObjective] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ExhaustiveResult:
     """Find the optimal partition over every contiguous candidate.
 
@@ -926,6 +1068,24 @@ def exhaustive_partition(
     /``sim_cache`` are ignored); the winner's objective value is
     reported as ``ExhaustiveResult.robust_value``, while ``sim`` stays
     the winner's *nominal* simulation.
+
+    ``jobs`` (default: the process-wide ``--plan-jobs`` setting, 1 when
+    unset) shards the search over worker processes by top-level cut
+    position, sharing the incumbent bound between chunk flushes — see
+    :mod:`repro.core.parallel_search`.  The returned partition and
+    iteration time are bit-identical to the serial search at any job
+    count, in every mode including ``robust=``; only the observability
+    counters (``jobs``, ``worker_subtrees``, ``evaluations``, which
+    depend on incumbent-arrival timing) reflect the sharding.  Falls
+    back to the serial search when worker processes are unavailable.
+
+    ``cache`` is a persistent :class:`~repro.core.plan_cache.PlanCache`
+    (default: the process-wide ``--plan-cache-dir`` cache, off when
+    unset; pass ``False`` to force caching off for one call).  A warm
+    hit replays the stored result — same partition, iteration time and
+    original search statistics — without running any simulation; the
+    key covers the full profile content and every search knob except
+    ``jobs``/``sim_cache``, which cannot change the result.
     """
     n = profile.num_blocks
     space = count_partitions(n, num_stages)
@@ -941,21 +1101,46 @@ def exhaustive_partition(
         raise ValueError(
             f"prune_slack must be a finite float >= 1.0, got {prune_slack!r}"
         )
+    # Lazy imports: parallel_search imports this module at top level.
+    from repro.core.parallel_search import (
+        ParallelUnavailable,
+        resolve_plan_jobs,
+        run_parallel_search,
+    )
+    from repro.core.plan_cache import resolve_plan_cache
+
+    jobs = resolve_plan_jobs(jobs)
+    plan_cache = resolve_plan_cache(cache)
+    cache_key = None
+    if plan_cache is not None:
+        cache_key = plan_cache.exhaustive_key(
+            profile, num_stages, num_micro_batches,
+            comm_mode=comm_mode, prune=prune, incremental=incremental,
+            planner_warm_start=planner_warm_start, chunk_size=chunk_size,
+            prune_slack=prune_slack, robust=repr(robust),
+        )
+        stored = plan_cache.load(cache_key, expect=ExhaustiveResult)
+        if stored is not None:
+            return stored
+
     t0 = _time.perf_counter()
     fwd = profile.fwd_times()
     bwd = profile.bwd_times()
     comm = profile.comm_time
 
-    state = _SearchState()
     if robust is not None:
-        _search_robust(
-            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
-            state, chunk_size, robust,
-        )
+        mode = "robust"
     elif prune and incremental:
+        mode = "incremental"
+    elif prune:
+        mode = "pruned"
+    else:
+        mode = "brute"
+
+    extra_seeds: List[Tuple[int, ...]] = []
+    if mode == "incremental":
         if planner_warm_start is None:
             planner_warm_start = space >= _WARM_START_MIN_SPACE
-        extra_seeds: List[Tuple[int, ...]] = []
         if planner_warm_start and num_stages > 1:
             try:
                 heur = plan_partition(
@@ -969,20 +1154,56 @@ def exhaustive_partition(
                 # The heuristic can be infeasible where the oracle is not
                 # (e.g. memory caps); the search just starts colder.
                 pass
-        _search_incremental(
-            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
-            sim_cache, state, chunk_size, prune_slack, extra_seeds,
-        )
-    elif prune:
-        _search_pruned(
-            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
-            sim_cache, state, chunk_size, prune_slack,
-        )
-    else:
-        _search_brute(
-            fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
-            sim_cache, state,
-        )
+
+    state = _SearchState()
+    used_jobs = 1
+    worker_subtrees: Tuple[int, ...] = ()
+    ran_parallel = False
+    warm: Optional[Dict[Tuple[int, ...], float]] = None
+    if jobs > 1 and num_stages > 1:
+        if mode in ("incremental", "pruned"):
+            # Seeds are evaluated once, parent-side; every worker gets
+            # the same warm incumbents the serial search would compute.
+            warm = _evaluate_seeds(
+                fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+                sim_cache, state,
+                extra_seeds if mode == "incremental" else (),
+            )
+        try:
+            used_jobs, worker_subtrees = run_parallel_search(
+                fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+                state, chunk_size, prune_slack,
+                mode=mode, jobs=jobs, warm=warm, robust=robust,
+            )
+            ran_parallel = True
+        except ParallelUnavailable:
+            # Sandboxes without worker processes: serial, same result.
+            pass
+    if not ran_parallel:
+        used_jobs = 1
+        worker_subtrees = ()
+        if mode == "robust":
+            _search_robust(
+                fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+                state, chunk_size, robust,
+            )
+        elif mode == "incremental":
+            _search_incremental(
+                fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+                sim_cache, state, chunk_size, prune_slack, extra_seeds,
+                preset_warm=warm,
+            )
+        elif mode == "pruned":
+            _search_pruned(
+                fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+                sim_cache, state, chunk_size, prune_slack,
+                preset_warm=warm,
+            )
+        else:
+            _search_brute(
+                fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+                sim_cache, state,
+            )
     assert state.best_sizes is not None
     f_stages, b_stages = _stage_sums(fwd, bwd, state.best_sizes)
     times = StageTimes(f_stages, b_stages, comm)
@@ -992,7 +1213,7 @@ def exhaustive_partition(
         best_sim = PipelineSim(
             times, num_micro_batches, comm_mode=comm_mode
         ).run()
-    return ExhaustiveResult(
+    result = ExhaustiveResult(
         partition=PartitionScheme.from_sizes(state.best_sizes),
         sim=best_sim,
         evaluations=state.evaluations,
@@ -1002,4 +1223,9 @@ def exhaustive_partition(
         suffix_sims=state.suffix_sims,
         dominance_pruned=state.dominance_pruned,
         robust_value=state.best_time if robust is not None else None,
+        jobs=used_jobs if ran_parallel else 1,
+        worker_subtrees=worker_subtrees,
     )
+    if plan_cache is not None and cache_key is not None:
+        plan_cache.store(cache_key, result)
+    return result

@@ -158,10 +158,19 @@ class PlannerResult:
     #: the winning scheme's robust objective value (statistic over the
     #: perturbation draws) when planning with ``robust=``; None otherwise.
     robust_value: Optional[float] = None
+    #: worker processes candidate waves ran on (1 = in-process serial).
+    jobs: int = 1
 
     @property
     def iteration_time(self) -> float:
         return self.sim.iteration_time
+
+    @property
+    def sims_per_second(self) -> float:
+        """Search throughput: schemes evaluated per wall-clock second."""
+        if self.search_seconds <= 0:
+            return 0.0
+        return self.evaluations / self.search_seconds
 
 
 class _UnitSpace:
@@ -345,6 +354,8 @@ def plan_partition(
     sim_cache: Optional[SimCache] = None,
     incremental: bool = False,
     robust: Optional[RobustObjective] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> PlannerResult:
     """Run the AutoPipe Planner and return the best partition found.
 
@@ -382,7 +393,41 @@ def plan_partition(
     by the nominal simulations (master stage, cooldown adjust), so the
     explored neighbourhood is unchanged — only the winner selection is.
     The winning value is reported as ``PlannerResult.robust_value``.
+    ``jobs`` (default: the process-wide ``--plan-jobs`` setting) hands
+    each expansion's master-shift wave to a
+    :class:`~repro.core.parallel_search.CandidatePool` of worker
+    processes; the wave results are consumed in the serial loop's order,
+    so the returned plan, evaluation count and history are bit-identical
+    at any job count.  Honest caveat (same spirit as ``incremental``):
+    at heuristic-search scale — tens of sub-millisecond simulations —
+    process fan-out is parity-to-slower; the flag exists for API
+    uniformity with the oracle, where the same ``--plan-jobs`` setting
+    is a real win.  ``cache`` is a persistent
+    :class:`~repro.core.plan_cache.PlanCache` (default: the process-wide
+    ``--plan-cache-dir`` cache, off when unset; ``False`` forces it off
+    for one call): a warm hit replays the stored plan without running
+    any simulation; the key covers the profile content and every search
+    knob except ``jobs``/``sim_cache``, which cannot change the result.
     """
+    from repro.core.parallel_search import CandidatePool, resolve_plan_jobs
+    from repro.core.plan_cache import resolve_plan_cache
+
+    jobs = resolve_plan_jobs(jobs)
+    plan_store = resolve_plan_cache(cache)
+    store_key = None
+    if plan_store is not None:
+        store_key = plan_store.planner_key(
+            profile, num_stages, num_micro_batches,
+            granularity=granularity, comm_mode=comm_mode,
+            cooldown_adjust=cooldown_adjust,
+            max_evaluations=max_evaluations, keep_history=keep_history,
+            memory_cap=memory_cap, incremental=incremental,
+            robust=repr(robust),
+        )
+        stored = plan_store.load(store_key, expect=PlannerResult)
+        if stored is not None:
+            return stored
+
     t0 = _time.perf_counter()
     space = _UnitSpace(profile, granularity)
     if num_stages > space.num_units:
@@ -391,7 +436,7 @@ def plan_partition(
             f"{granularity}-granularity units"
         )
 
-    cache: Dict[Sizes, SimResult] = {}
+    scheme_cache: Dict[Sizes, SimResult] = {}
     history: List[Tuple[Sizes, float]] = []
     feasible: Dict[Sizes, bool] = {}
 
@@ -445,7 +490,7 @@ def plan_partition(
         ).run()
 
     def evaluate(sizes: Sizes) -> SimResult:
-        sim = cache.get(sizes)
+        sim = scheme_cache.get(sizes)
         if sim is None:
             times = space.stage_times(sizes)
             runner = (lambda: run_incremental(times)) if incremental else None
@@ -459,7 +504,7 @@ def plan_partition(
                 sim = PipelineSim(
                     times, num_micro_batches, comm_mode=comm_mode
                 ).run()
-            cache[sizes] = sim
+            scheme_cache[sizes] = sim
             if keep_history:
                 history.append((sizes, sim.iteration_time))
         return sim
@@ -495,6 +540,46 @@ def plan_partition(
         if best_value is None or value < best_value:
             best_sizes, best_sim, best_value = sizes, sim, value
 
+    pool = CandidatePool(jobs) if jobs > 1 else None
+
+    def prefetch(cands: List[Sizes]) -> None:
+        """Evaluate one master-shift wave's misses concurrently.
+
+        Inserts results into ``scheme_cache`` (and the shared
+        ``sim_cache``) in the serial loop's first-occurrence order, so
+        the loop's subsequent ``evaluate`` calls hit the memo and the
+        plan, evaluation count and history are bit-identical to the
+        serial search — the scalar simulation is pure, so where it runs
+        cannot change its result.
+        """
+        if pool is None:
+            return
+        wave: List[Tuple[Sizes, StageTimes]] = []
+        for cand in dict.fromkeys(cands):
+            if cand in scheme_cache:
+                continue
+            times = space.stage_times(cand)
+            if sim_cache is not None and (
+                times.fwd, times.bwd, times.comm,
+                num_micro_batches, comm_mode,
+            ) in sim_cache._data:
+                continue
+            wave.append((cand, times))
+        if len(wave) < 2:
+            return
+        sims = pool.evaluate(
+            [t for _, t in wave], num_micro_batches, comm_mode
+        )
+        for (cand, times), sim in zip(wave, sims):
+            if sim_cache is not None:
+                sim = sim_cache.simulate(
+                    times, num_micro_batches, comm_mode,
+                    runner=lambda s=sim: s,
+                )
+            scheme_cache[cand] = sim
+            if keep_history:
+                history.append((cand, sim.iteration_time))
+
     seed_sim = evaluate(seed)
     consider(seed, seed_sim)
 
@@ -511,36 +596,44 @@ def plan_partition(
             consider(repaired, evaluate(repaired))
             queue.append(repaired)
             enqueued.add(repaired)
-    while queue and len(cache) < max_evaluations:
-        sizes = queue.popleft()
-        sim = evaluate(sizes)
-        master = sim.master_stage
+    try:
+        while queue and len(scheme_cache) < max_evaluations:
+            sizes = queue.popleft()
+            sim = evaluate(sizes)
+            master = sim.master_stage
 
-        if cooldown_adjust:
-            adjusted = _cooldown_adjust(sizes, master, space)
-            if adjusted != sizes:
-                adj_sim = evaluate(adjusted)
-                consider(adjusted, adj_sim)
-                # Paper: proceed to step 3 with the adjusted scheme either way.
-                sizes, sim = adjusted, adj_sim
-                master = sim.master_stage
+            if cooldown_adjust:
+                adjusted = _cooldown_adjust(sizes, master, space)
+                if adjusted != sizes:
+                    adj_sim = evaluate(adjusted)
+                    consider(adjusted, adj_sim)
+                    # Paper: proceed to step 3 with the adjusted scheme
+                    # either way.
+                    sizes, sim = adjusted, adj_sim
+                    master = sim.master_stage
 
-        consider(sizes, sim)
-        if master == 0:
-            continue
-        if incremental:
-            # This scheme is about to spawn shift children that share its
-            # stage-time prefix up to the master; checkpoint the chain
-            # once so their evaluations resume instead of starting cold.
-            checkpoint(space.stage_times(sizes))
-        for cand in _shift_candidates(sizes, master, space):
-            if cand in enqueued:
+            consider(sizes, sim)
+            if master == 0:
                 continue
-            cand_sim = evaluate(cand)
-            consider(cand, cand_sim)
-            if cand_sim.master_stage <= master:
-                queue.append(cand)
-                enqueued.add(cand)
+            if incremental:
+                # This scheme is about to spawn shift children that share
+                # its stage-time prefix up to the master; checkpoint the
+                # chain once so their evaluations resume instead of
+                # starting cold.
+                checkpoint(space.stage_times(sizes))
+            cands = _shift_candidates(sizes, master, space)
+            prefetch(cands)
+            for cand in cands:
+                if cand in enqueued:
+                    continue
+                cand_sim = evaluate(cand)
+                consider(cand, cand_sim)
+                if cand_sim.master_stage <= master:
+                    queue.append(cand)
+                    enqueued.add(cand)
+    finally:
+        if pool is not None:
+            pool.close()
 
     if best_sizes is None or best_sim is None:
         raise RuntimeError(
@@ -548,12 +641,16 @@ def plan_partition(
             f"memory cap at depth {num_stages}"
         )
     elapsed = _time.perf_counter() - t0
-    return PlannerResult(
+    result = PlannerResult(
         partition=space.to_partition(best_sizes),
         sim=best_sim,
-        evaluations=len(cache),
+        evaluations=len(scheme_cache),
         search_seconds=elapsed,
         granularity=granularity,
         history=tuple(history),
         robust_value=best_value if factors is not None else None,
+        jobs=jobs if pool is not None and pool.active else 1,
     )
+    if plan_store is not None and store_key is not None:
+        plan_store.store(store_key, result)
+    return result

@@ -18,7 +18,8 @@ and 4 stages for GPT-2 1.3B at mbs 16 (Table IV).
 from __future__ import annotations
 
 import time as _time
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.baselines.common import PlannedConfig, config_memory
 from repro.core.balance_dp import balanced_partition
@@ -97,6 +98,8 @@ def autopipe_config(
     granularity: str = "sublayer",
     sim_cache: Optional[SimCache] = None,
     incremental: bool = False,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> PlannedConfig:
     """Choose (dp, pp) and the balanced partition for a whole cluster.
 
@@ -106,6 +109,10 @@ def autopipe_config(
     isolate a run.  ``incremental`` forwards to
     :func:`repro.core.planner.plan_partition`'s prefix-state resume path
     (bit-identical results; see its docstring for when it pays off).
+    ``jobs``/``cache`` forward to the planner's worker-process wave
+    evaluation and the persistent plan cache (see
+    :mod:`repro.core.parallel_search` / :mod:`repro.core.plan_cache`);
+    both leave the chosen configuration bit-identical.
     """
     if sim_cache is None:
         sim_cache = default_sim_cache()
@@ -144,6 +151,7 @@ def autopipe_config(
                     profile, pp, m, granularity=granularity,
                     memory_cap=profile.hardware.gpu_memory,
                     sim_cache=sim_cache, incremental=incremental,
+                    jobs=jobs, cache=cache,
                 )
                 partition = planned.partition
                 predicted = planned.iteration_time
@@ -162,4 +170,217 @@ def autopipe_config(
         )
     raise RuntimeError(
         "AutoPipe found no memory-feasible (dp, pp) configuration"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cluster-wide joint autotuner.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AutotuneCandidate:
+    """One point of the (dp x pp x slice-count) joint search space."""
+
+    layout: "ParallelLayout"
+    slice_count: int
+    status: str
+    partition: Optional[PartitionScheme] = None
+    #: which search produced the partition: "oracle" (exact, possibly
+    #: multiprocess), "planner" (heuristic), or "trivial" (pp == 1).
+    planner: str = ""
+    #: DES-executed iteration time of one replica (s); the whole cluster
+    #: consumes the global batch in this time at any layout, so values
+    #: compare directly across layouts.
+    iteration_seconds: float = float("inf")
+    #: when the last stage starts its first forward (startup overhead).
+    startup_seconds: float = 0.0
+    #: Algorithm 2's slice count for this layout (the paper's answer;
+    #: the autotuner searches the whole range instead).
+    algorithm2_slices: int = 0
+    plan_seconds: float = 0.0
+    #: worker processes the partition search ran on.
+    plan_jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Outcome of one cluster-wide joint autotune."""
+
+    best: AutotuneCandidate
+    candidates: Tuple[AutotuneCandidate, ...]
+    search_seconds: float
+    num_gpus: int
+
+    @property
+    def layouts_searched(self) -> int:
+        return len({
+            (c.layout.num_gpus, c.layout.pipeline_stages)
+            for c in self.candidates
+        })
+
+
+def autotune_config(
+    profile: ModelProfile,
+    num_gpus: int,
+    *,
+    granularity: str = "sublayer",
+    comm_mode: str = "paper",
+    sim_cache: Optional[SimCache] = None,
+    jobs: Optional[int] = None,
+    cache=None,
+    oracle_max_space: int = 50_000,
+) -> AutotuneResult:
+    """Joint (data-parallel x pipeline-depth x slice-count) search.
+
+    AutoPipe's shipping rule (:func:`autopipe_config`) picks the
+    shallowest memory-feasible pipeline and trusts Algorithm 2's slice
+    count.  The autotuner *searches* instead: every batch-compatible
+    layout of the cluster (:func:`repro.parallel.grid.layouts_for`) has
+    its partition planned — through the exact oracle
+    (:func:`repro.core.exhaustive.exhaustive_partition`, multiprocess
+    when ``jobs`` allows) while the candidate space is at most
+    ``oracle_max_space``, through the heuristic planner above that — and
+    then every admissible Slicer count (0 .. p-1) is executed on the
+    discrete-event simulator; the candidate with the lowest executed
+    iteration time wins (ties break toward the shallower pipeline, then
+    the smaller slice count).  Because each layout's replicas consume
+    the global batch together, iteration times compare directly across
+    layouts (data-parallel gradient synchronisation is outside the
+    model, as everywhere in this repo).
+
+    ``jobs`` and ``cache`` forward to the partition searches: worker
+    processes shard the oracle's branch-and-bound, and the persistent
+    plan cache replays previously-solved (profile, depth, m) plans
+    across runs and processes — a warm autotune re-plans nothing.
+    Memory-infeasible layouts are reported with status ``"OOM"``,
+    depth-infeasible ones with ``"X"``; raises ``RuntimeError`` when no
+    candidate is feasible.
+    """
+    from repro.core.exhaustive import count_partitions, exhaustive_partition
+    from repro.core.slicer import SlicePlan, solve_slice_count
+    from repro.parallel.grid import layouts_for
+    from repro.runtime.trainer import run_pipeline
+
+    t0 = _time.perf_counter()
+    if sim_cache is None:
+        sim_cache = default_sim_cache()
+    train = profile.train
+    mbs = train.micro_batch_size
+    m_total = train.global_batch_size // mbs
+    candidates: list = []
+
+    for layout in layouts_for(num_gpus, train):
+        pp = layout.pipeline_stages
+        dp = layout.data_parallel
+        m = layout.micro_batches(train)
+        if pp > profile.num_blocks:
+            candidates.append(AutotuneCandidate(
+                layout=layout, slice_count=0, status="X",
+            ))
+            continue
+
+        # -- partition search ------------------------------------------
+        plan_t0 = _time.perf_counter()
+        partition: Optional[PartitionScheme] = None
+        planner_name = ""
+        plan_jobs = 1
+        if pp == 1:
+            partition = PartitionScheme((tuple(range(profile.num_blocks)),))
+            planner_name = "trivial"
+        else:
+            if count_partitions(profile.num_blocks, pp) <= oracle_max_space:
+                oracle = exhaustive_partition(
+                    profile, pp, m, comm_mode=comm_mode,
+                    max_evaluations=None, sim_cache=sim_cache,
+                    jobs=jobs, cache=cache,
+                )
+                if _fits(profile, oracle.partition, dp, m_total, mbs):
+                    partition = oracle.partition
+                    planner_name = "oracle"
+                    plan_jobs = oracle.jobs
+            if partition is None:
+                try:
+                    planned = plan_partition(
+                        profile, pp, m, granularity=granularity,
+                        comm_mode=comm_mode,
+                        memory_cap=profile.hardware.gpu_memory,
+                        sim_cache=sim_cache, jobs=jobs, cache=cache,
+                    )
+                    partition = planned.partition
+                    planner_name = "planner"
+                    plan_jobs = planned.jobs
+                except (RuntimeError, ValueError):
+                    partition = None
+            if partition is None or not _fits(
+                profile, partition, dp, m_total, mbs
+            ):
+                repaired = repair_memory(
+                    profile,
+                    partition or balanced_partition(
+                        profile.block_times(), pp
+                    ),
+                    dp, m_total, mbs,
+                )
+                if repaired is None:
+                    candidates.append(AutotuneCandidate(
+                        layout=layout, slice_count=0, status="OOM",
+                    ))
+                    continue
+                partition = repaired
+                planner_name = planner_name or "repair"
+        plan_seconds = _time.perf_counter() - plan_t0
+
+        # -- slice-count sweep on the executed schedule ----------------
+        from repro.core.partition import stage_times as _stage_times_of
+
+        times = _stage_times_of(partition, profile)
+        try:
+            alg2 = solve_slice_count(times, m)
+        except ValueError:
+            alg2 = 0
+        for num_sliced in layout.slice_candidates(train):
+            if num_sliced == 0:
+                execution = run_pipeline(profile, partition, m)
+            else:
+                execution = run_pipeline(
+                    profile, partition, m, schedule="sliced",
+                    slice_plan=SlicePlan(
+                        num_sliced=num_sliced, num_micro_batches=m
+                    ),
+                )
+            candidates.append(AutotuneCandidate(
+                layout=layout,
+                slice_count=num_sliced,
+                status="OOM" if execution.oom else "ok",
+                partition=partition,
+                planner=planner_name,
+                iteration_seconds=execution.iteration_time,
+                startup_seconds=execution.first_forward_start(pp - 1),
+                algorithm2_slices=alg2,
+                plan_seconds=plan_seconds,
+                plan_jobs=plan_jobs,
+            ))
+
+    feasible = [c for c in candidates if c.ok]
+    if not feasible:
+        raise RuntimeError(
+            f"autotune found no feasible (dp, pp, slices) candidate "
+            f"for {num_gpus} GPUs"
+        )
+    best = min(
+        feasible,
+        key=lambda c: (
+            c.iteration_seconds, c.layout.pipeline_stages, c.slice_count,
+        ),
+    )
+    return AutotuneResult(
+        best=best,
+        candidates=tuple(candidates),
+        search_seconds=_time.perf_counter() - t0,
+        num_gpus=num_gpus,
     )

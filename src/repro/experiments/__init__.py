@@ -1,6 +1,7 @@
 """One module per table/figure of the paper's evaluation (Section IV)."""
 
 from repro.experiments import (  # noqa: F401
+    autotune,
     deep_pipeline,
     fig9,
     fig10,
@@ -30,6 +31,7 @@ ALL_EXPERIMENTS = {
     "sensitivity": sensitivity,
     "deep_pipeline": deep_pipeline,
     "robustness": robustness,
+    "autotune": autotune,
 }
 
 from repro.experiments import report  # noqa: E402,F401  (imports the above)

@@ -164,6 +164,28 @@ class SweepRunner:
                 pass
             raise
 
+    def purge(self) -> int:
+        """Delete every cached cell; returns the number removed.
+
+        The CLI's ``--clear-cache`` entry point.  Only ``*.pkl`` entries
+        are touched, so a cache directory shared with other artefacts is
+        safe; a missing directory purges zero cells.
+        """
+        if self.cache_dir is None:
+            return 0
+        removed = 0
+        try:
+            entries = list(self.cache_dir.glob("*.pkl"))
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
     # -- execution ---------------------------------------------------------
 
     def run(self, fn: Callable, cells: Sequence[Tuple]) -> List:

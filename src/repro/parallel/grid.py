@@ -9,7 +9,7 @@ of depth ``pp`` with ``dp * pp == G``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterator, List, Tuple
 
 from repro.config import TrainConfig
 
@@ -38,6 +38,16 @@ class ParallelLayout:
         """Micro-batches each pipeline replica runs per iteration."""
         return train.micro_batches_per_replica(self.data_parallel)
 
+    def slice_candidates(self, train: TrainConfig) -> range:
+        """Admissible Slicer counts for this layout's replicas.
+
+        Algorithm 2 slices at most ``p - 1`` leading micro-batches (the
+        warmup depth) and never more than the replica runs; ``0`` is the
+        unsliced 1F1B baseline.  The autotuner's third search dimension.
+        """
+        m = self.micro_batches(train)
+        return range(0, min(self.pipeline_stages - 1, m) + 1)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"dp{self.data_parallel}xpp{self.pipeline_stages}"
 
@@ -59,3 +69,17 @@ def layouts_for(num_gpus: int, train: TrainConfig) -> List[ParallelLayout]:
             continue
         out.append(layout)
     return out
+
+
+def joint_config_space(
+    num_gpus: int, train: TrainConfig
+) -> Iterator[Tuple[ParallelLayout, int]]:
+    """The autotuner's (data-parallel x pipeline-depth x slice-count) grid.
+
+    Yields every batch-compatible layout of the cluster paired with each
+    of its admissible Slicer counts, shallowest pipeline first — the
+    joint space ``autotune_config`` searches end to end.
+    """
+    for layout in layouts_for(num_gpus, train):
+        for num_sliced in layout.slice_candidates(train):
+            yield layout, num_sliced

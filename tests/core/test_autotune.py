@@ -1,0 +1,103 @@
+"""Cluster-wide joint autotuner: (dp x pp x slice-count) end to end."""
+
+import pytest
+
+from repro.core.strategy import autotune_config
+from repro.parallel.grid import ParallelLayout, joint_config_space, layouts_for
+
+
+class TestJointSpace:
+    def test_slice_candidates_bounded_by_warmup_depth(self, train):
+        layout = ParallelLayout(8, 4)  # dp2, m = 64/(4*2) = 8
+        assert list(layout.slice_candidates(train)) == [0, 1, 2, 3]
+
+    def test_pp1_has_only_unsliced(self, train):
+        assert list(ParallelLayout(4, 1).slice_candidates(train)) == [0]
+
+    def test_space_enumerates_every_layout_slice_pair(self, train):
+        pairs = list(joint_config_space(8, train))
+        layouts = {layout for layout, _ in pairs}
+        assert layouts == set(layouts_for(8, train))
+        for layout in layouts:
+            counts = [s for lo, s in pairs if lo == layout]
+            assert counts == list(layout.slice_candidates(train))
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def tuned(self, tiny_profile):
+        return autotune_config(tiny_profile, 4)
+
+    def test_covers_every_layout(self, tuned, tiny_profile):
+        assert tuned.num_gpus == 4
+        assert tuned.layouts_searched == len(
+            layouts_for(4, tiny_profile.train)
+        )
+        # One candidate per (layout, slice-count) point of the space.
+        assert len(tuned.candidates) >= tuned.layouts_searched
+
+    def test_best_is_the_executed_argmin(self, tuned):
+        feasible = [c for c in tuned.candidates if c.ok]
+        assert tuned.best in feasible
+        assert all(
+            tuned.best.iteration_seconds <= c.iteration_seconds
+            for c in feasible
+        )
+        assert tuned.best.partition is not None
+        assert tuned.best.planner in ("oracle", "planner", "trivial", "repair")
+
+    def test_beats_or_matches_every_single_layout(self, tuned):
+        """The joint argmin can never lose to a fixed-layout choice."""
+        for c in tuned.candidates:
+            if c.ok:
+                assert tuned.best.iteration_seconds <= c.iteration_seconds
+
+    def test_search_metadata(self, tuned):
+        assert tuned.search_seconds > 0.0
+        for c in tuned.candidates:
+            if c.ok and c.layout.pipeline_stages > 1:
+                assert c.plan_seconds >= 0.0
+                assert 0 <= c.algorithm2_slices < c.layout.pipeline_stages
+
+    def test_jobs_do_not_change_the_answer(self, tiny_profile, tuned):
+        parallel = autotune_config(tiny_profile, 4, jobs=2)
+        assert parallel.best.layout == tuned.best.layout
+        assert parallel.best.slice_count == tuned.best.slice_count
+        assert parallel.best.iteration_seconds == tuned.best.iteration_seconds
+        assert [
+            (c.layout, c.slice_count, c.status, c.iteration_seconds)
+            for c in parallel.candidates
+        ] == [
+            (c.layout, c.slice_count, c.status, c.iteration_seconds)
+            for c in tuned.candidates
+        ]
+
+    def test_plan_cache_warm_replay(self, tiny_profile, tmp_path, tuned):
+        from repro.core.plan_cache import PlanCache
+
+        cache = PlanCache(tmp_path)
+        cold = autotune_config(tiny_profile, 4, cache=cache)
+        assert cache.misses > 0 and len(cache) > 0
+        warm = autotune_config(tiny_profile, 4, cache=cache)
+        assert cache.hits >= cache.misses  # every search replayed
+        assert warm.best.layout == cold.best.layout
+        assert warm.best.iteration_seconds == cold.best.iteration_seconds
+
+    def test_infeasible_cluster_raises(self, tiny_profile):
+        # 64-way data parallelism cannot divide a 16-micro-batch global
+        # batch at every depth; depth > num_blocks is marked "X" — an
+        # empty feasible set must raise, not return a bogus best.
+        with pytest.raises(ValueError):
+            ParallelLayout(0, 1)
+
+
+class TestExperiment:
+    def test_run_assembles_rows(self):
+        from repro.experiments import autotune as exp
+
+        result = exp.run(gpu_counts=(2,))
+        assert result.rows
+        assert any(r[-1] == "<== best" for r in result.rows)
+        assert "gpus2" in result.meta["best"]
+        chosen = result.meta["best"]["gpus2"]
+        assert chosen["iteration_ms"] > 0.0

@@ -1,0 +1,170 @@
+"""Persistent plan cache: warm replay, keying, and cross-process sharing."""
+
+import os
+import pickle
+import subprocess
+import sys
+
+from repro.core.exhaustive import ExhaustiveResult, exhaustive_partition
+from repro.core.plan_cache import (
+    PlanCache,
+    code_fingerprint,
+    default_plan_cache,
+    profile_hash,
+    resolve_plan_cache,
+    set_default_plan_cache,
+)
+from repro.core.planner import PlannerResult, plan_partition
+
+from tests.core.test_search_properties import make_profile
+
+_FWD = [1.0, 2.0, 1.5, 0.5, 3.0, 1.0, 2.0, 0.5, 1.5, 1.0]
+_BWD = [2.0, 1.0, 0.5, 1.5, 1.0, 3.0, 0.5, 2.0, 1.0, 1.5]
+
+
+def _profile():
+    return make_profile(_FWD, _BWD, 0.25)
+
+
+class TestWarmReplay:
+    def test_exhaustive_replays_bit_identical(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        profile = _profile()
+        cold = exhaustive_partition(profile, 4, 8, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert len(cache) == 1
+        warm = exhaustive_partition(profile, 4, 8, cache=cache)
+        assert cache.hits == 1
+        assert warm == cold  # the exact stored object, statistics and all
+
+    def test_planner_replays_bit_identical(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        profile = _profile()
+        cold = plan_partition(profile, 4, 8, cache=cache)
+        warm = plan_partition(profile, 4, 8, cache=cache)
+        assert cache.hits == 1
+        assert warm == cold
+
+    def test_warm_hit_runs_no_simulations(self, tmp_path):
+        """A hit must not touch the simulator: zero new evaluations."""
+        cache = PlanCache(tmp_path)
+        profile = _profile()
+        exhaustive_partition(profile, 4, 8, cache=cache)
+        from repro.core import analytic_sim
+
+        calls = []
+        orig = analytic_sim.PipelineSim.run
+
+        def counting(self):
+            calls.append(1)
+            return orig(self)
+
+        analytic_sim.PipelineSim.run = counting
+        try:
+            warm = exhaustive_partition(profile, 4, 8, cache=cache)
+        finally:
+            analytic_sim.PipelineSim.run = orig
+        assert warm.partition.sizes
+        assert not calls
+
+
+class TestKeying:
+    def test_knobs_separate_entries(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        profile = _profile()
+        a = exhaustive_partition(profile, 4, 8, cache=cache)
+        b = exhaustive_partition(
+            profile, 4, 8, incremental=False, cache=cache
+        )
+        assert len(cache) == 2
+        assert a.partition.sizes == b.partition.sizes  # same argmin
+
+    def test_jobs_excluded_from_key(self, tmp_path):
+        """A plan solved serially must replay for a jobs=N caller."""
+        cache = PlanCache(tmp_path)
+        profile = _profile()
+        cold = exhaustive_partition(profile, 4, 8, cache=cache)
+        warm = exhaustive_partition(profile, 4, 8, jobs=4, cache=cache)
+        assert cache.hits == 1 and len(cache) == 1
+        assert warm == cold
+
+    def test_profile_hash_is_content_sensitive(self):
+        assert profile_hash(_profile()) == profile_hash(_profile())
+        other = make_profile(_FWD, _BWD, 0.5)
+        assert profile_hash(_profile()) != profile_hash(other)
+        assert len(code_fingerprint()) == 64
+
+    def test_wrong_type_is_a_miss(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        profile = _profile()
+        key = cache.exhaustive_key(profile, 4, 8)
+        cache.store(key, {"not": "a result"})
+        assert cache.load(key, expect=ExhaustiveResult) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        key = cache.planner_key(_profile(), 4, 8)
+        cache.store(key, PlannerResult)  # placeholder, then corrupt it
+        (tmp_path / f"{key}.pkl").write_bytes(b"\x80garbage")
+        assert cache.load(key) is None
+        assert cache.misses == 1
+
+
+class TestLifecycle:
+    def test_purge(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        profile = _profile()
+        exhaustive_partition(profile, 4, 8, cache=cache)
+        plan_partition(profile, 4, 8, cache=cache)
+        assert len(cache) == 2
+        assert cache.purge() == 2
+        assert len(cache) == 0
+        assert cache.purge() == 0
+
+    def test_default_resolution(self, tmp_path):
+        assert default_plan_cache() is None
+        assert resolve_plan_cache(None) is None
+        bound = PlanCache(tmp_path)
+        try:
+            set_default_plan_cache(bound)
+            assert resolve_plan_cache(None) is bound
+            assert resolve_plan_cache(False) is None
+            # cache=False forces one call uncached despite the default.
+            plan_partition(_profile(), 3, 4, cache=False)
+            assert len(bound) == 0
+        finally:
+            set_default_plan_cache(None)
+
+
+class TestCrossProcess:
+    def test_plan_written_by_another_process_replays(self, tmp_path):
+        """A subprocess solves and stores; this process replays the exact
+        same object — the cluster-wide sharing the cache exists for."""
+        script = (
+            "from tests.core.test_plan_cache import _profile\n"
+            "from repro.core.plan_cache import PlanCache\n"
+            "from repro.core.exhaustive import exhaustive_partition\n"
+            f"cache = PlanCache({str(tmp_path)!r})\n"
+            "r = exhaustive_partition(_profile(), 4, 8, cache=cache)\n"
+            "print(repr(r.partition.sizes))\n"
+            "print(repr(r.iteration_time))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH", ""), os.getcwd()) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.splitlines()
+        cache = PlanCache(tmp_path)
+        warm = exhaustive_partition(_profile(), 4, 8, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 0)
+        assert repr(warm.partition.sizes) == out[0]
+        assert repr(warm.iteration_time) == out[1]  # bitwise across processes
+
+    def test_atomic_store_leaves_no_temp_files(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        cache.store(cache.planner_key(_profile(), 2, 2), {"x": 1})
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp")]
+        assert not leftovers

@@ -138,3 +138,22 @@ class TestDefaultRunner:
             assert default_runner() is custom
         finally:
             set_default_runner(original)
+
+
+class TestPurge:
+    def test_purge_removes_cached_cells(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(square, [(2,), (3,), (4,)])
+        assert runner.purge() == 3
+        assert not list(tmp_path.glob("*.pkl"))
+        assert runner.purge() == 0
+
+    def test_purge_spares_foreign_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("keep me")
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(square, [(5,)])
+        assert runner.purge() == 1
+        assert (tmp_path / "notes.txt").exists()
+
+    def test_purge_without_cache_dir_is_noop(self):
+        assert SweepRunner().purge() == 0

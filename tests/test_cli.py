@@ -58,3 +58,58 @@ def test_all_reports_failures_but_keeps_going(monkeypatch, capsys):
     err = capsys.readouterr().err
     assert _Fine.ran  # the crash did not stop the sweep
     assert "1/2 experiments failed: boom" in err
+
+
+class TestPlanFlags:
+    def test_plan_jobs_rebinds_default(self):
+        from repro.core.parallel_search import (
+            default_plan_jobs,
+            set_default_plan_jobs,
+        )
+
+        try:
+            assert main(["list", "--plan-jobs", "3"]) == 0
+            assert default_plan_jobs() == 3
+        finally:
+            set_default_plan_jobs(1)
+
+    def test_bad_plan_jobs_errors(self):
+        with pytest.raises(SystemExit):
+            main(["list", "--plan-jobs", "0"])
+
+    def test_plan_cache_dir_binds_default(self, tmp_path):
+        from repro.core.plan_cache import (
+            default_plan_cache,
+            set_default_plan_cache,
+        )
+
+        try:
+            assert main(["list", "--plan-cache-dir", str(tmp_path)]) == 0
+            bound = default_plan_cache()
+            assert bound is not None
+            assert bound.cache_dir == tmp_path
+        finally:
+            set_default_plan_cache(None)
+
+    def test_clear_cache_purges_both_caches(self, tmp_path, capsys):
+        from repro.core.plan_cache import set_default_plan_cache
+        from repro.experiments.runner import SweepRunner, set_default_runner
+
+        sweep_dir = tmp_path / "sweep"
+        plan_dir = tmp_path / "plan"
+        for d in (sweep_dir, plan_dir):
+            d.mkdir()
+            (d / "stale.pkl").write_bytes(b"x")
+        try:
+            assert main([
+                "list",
+                "--cache-dir", str(sweep_dir),
+                "--plan-cache-dir", str(plan_dir),
+                "--clear-cache",
+            ]) == 0
+        finally:
+            set_default_plan_cache(None)
+            set_default_runner(SweepRunner())
+        assert not list(sweep_dir.glob("*.pkl"))
+        assert not list(plan_dir.glob("*.pkl"))
+        assert "cleared 2 cached entries" in capsys.readouterr().err
