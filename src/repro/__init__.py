@@ -20,7 +20,11 @@ Quickstart::
 from repro.config import HardwareConfig, ModelConfig, TrainConfig
 from repro.core.analytic_sim import PipelineSim, SimResult, simulate_partition
 from repro.core.autopipe import AutoPipeSolution, autopipe_plan
-from repro.core.balance_dp import balanced_partition, min_max_partition
+from repro.core.balance_dp import (
+    BalanceTable,
+    balanced_partition,
+    min_max_partition,
+)
 from repro.core.partition import PartitionScheme, StageTimes, stage_times
 from repro.core.planner import PlannerResult, plan_partition
 from repro.core.slicer import SlicePlan, make_slice_plan, solve_slice_count
@@ -54,7 +58,7 @@ __all__ = [
     "profile_model", "ModelProfile", "BlockProfile",
     # core
     "PartitionScheme", "StageTimes", "stage_times",
-    "balanced_partition", "min_max_partition",
+    "BalanceTable", "balanced_partition", "min_max_partition",
     "PipelineSim", "SimResult", "simulate_partition",
     "plan_partition", "PlannerResult",
     "SlicePlan", "make_slice_plan", "solve_slice_count",

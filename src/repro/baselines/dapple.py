@@ -34,6 +34,8 @@ from __future__ import annotations
 import time as _time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.baselines.common import PlannedConfig
 from repro.core.planner import default_sim_cache
 from repro.core.partition import PartitionScheme, StageTimes
@@ -91,12 +93,157 @@ def _placement_ok(
     return False
 
 
+_IMPLS = ("vector", "scalar")
+
+
+def _fill_scalar(t_pre, p_pre, act_pre, ws_pre, L, G, m, max_stages, capacity):
+    """The original suffix-DP loops, kept verbatim as the reference oracle."""
+
+    def seg(k: int, l: int) -> float:
+        return t_pre[l] - t_pre[k]
+
+    def feasible(k: int, l: int, r: int, s: int) -> bool:
+        static = (p_pre[l] - p_pre[k]) * DAPPLE_BYTES_PER_PARAM
+        stash = (act_pre[l] - act_pre[k]) / STASH_FACTOR / r
+        in_flight = min(m, s)
+        return static + in_flight * stash + ws_pre[l] / r <= capacity
+
+    suffix: List[Optional[List[List[float]]]] = [None] * max_stages
+    choice: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+    last = [[_INF] * (G + 1) for _ in range(L + 1)]
+    for l in range(L):
+        for g in range(1, G + 1):
+            # The last stage keeps a single micro-batch in flight.
+            if feasible(l, L, g, 1):
+                last[l][g] = seg(l, L) / g
+    suffix[1] = last
+    for c in range(2, max_stages):
+        cur = [[_INF] * (G + 1) for _ in range(L + 1)]
+        prev = suffix[c - 1]
+        for l in range(L - c, -1, -1):
+            for g in range(c, G + 1):
+                best = _INF
+                best_choice = None
+                for k in range(l + 1, L - c + 2):
+                    for r in range(1, g - (c - 1) + 1):
+                        if prev[k][g - r] == _INF:
+                            continue
+                        # The head of a c-stage suffix keeps c micro-batches
+                        # in flight under 1F1B.
+                        if not feasible(l, k, r, c):
+                            continue
+                        cand = max(prev[k][g - r], seg(l, k) / r)
+                        if cand < best:
+                            best = cand
+                            best_choice = (k, r)
+                cur[l][g] = best
+                if best_choice is not None:
+                    choice[(c, l, g)] = best_choice
+        suffix[c] = cur
+    return suffix, choice
+
+
+def _fill_vector(t_pre, p_pre, act_pre, ws_pre, L, G, m, max_stages, capacity):
+    """Suffix DP as broadcast relaxations over ``(l, k, r, g)`` blocks.
+
+    Bit-identical to :func:`_fill_scalar`: every elementwise operation
+    reproduces the scalar expression's float order (notably the two-step
+    ``act / STASH_FACTOR / r`` stash division), infeasible and
+    out-of-range candidates are masked to ``+inf`` (which strict ``<``
+    never accepts), and C-order flattening of the ``(k, r)`` axes keeps
+    ``argmin``'s first occurrence on the scalar k-outer, r-inner
+    first-win tie-break.  Property-tested in
+    ``tests/baselines/test_vectorized_dp.py``.
+    """
+    t_arr = np.asarray(t_pre)
+    p_arr = np.asarray(p_pre)
+    act_arr = np.asarray(act_pre)
+    ws_arr = np.asarray(ws_pre)
+    # [a, b] = units a..b-1 (b > a meaningful).
+    segT = t_arr[None, :] - t_arr[:, None]
+    static = (p_arr[None, :] - p_arr[:, None]) * DAPPLE_BYTES_PER_PARAM
+    act_d = (act_arr[None, :] - act_arr[:, None]) / STASH_FACTOR
+    ks = np.arange(L + 1)
+    empty = ks[None, :] <= ks[:, None]  # b <= a: not a stage
+
+    # The memory mask depends on (r, in_flight) only; in_flight saturates
+    # at m, so deep layers share cached masks.
+    feas_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def _feas(r: int, s: int) -> np.ndarray:
+        in_flight = min(m, s)
+        mask = feas_cache.get((r, in_flight))
+        if mask is None:
+            stash = act_d / r
+            mem = static + in_flight * stash + ws_arr[None, :] / r
+            mask = mem <= capacity
+            feas_cache[(r, in_flight)] = mask
+        return mask
+
+    suffix: List[Optional[np.ndarray]] = [None] * max_stages
+    choice: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+    last = np.full((L + 1, G + 1), _INF)
+    for g in range(1, G + 1):
+        # The last stage keeps a single micro-batch in flight.
+        col = segT[:L, L] / g
+        last[:L, g] = np.where(_feas(g, 1)[:L, L], col, _INF)
+    suffix[1] = last
+    for c in range(2, max_stages):
+        prev = suffix[c - 1]
+        gs = np.arange(c, G + 1)
+        rs = np.arange(1, G - c + 2)
+        ng, nr = len(gs), len(rs)
+        # prev[k][g - r]: negative g - r masked to inf; g - r < c - 1
+        # entries are inf already (never written), matching the scalar
+        # loop's r bound.
+        gd = gs[None, :] - rs[:, None]
+        neg = gd < 0
+        gd_safe = np.where(neg, 0, gd)
+        tail = prev[:, gd_safe]  # (k, r, g)
+        tail[:, neg] = _INF
+        head = np.empty((L + 1, L + 1, nr))
+        for ri, r in enumerate(rs):
+            head[:, :, ri] = np.where(
+                empty | ~_feas(int(r), c), _INF, segT / r
+            )
+        cur = np.full((L + 1, G + 1), _INF)
+        chunk = max(1, int(32e6 / ((L + 1) * nr * ng * 8)))
+        for lo in range(0, L - c + 1, chunk):
+            hi = min(lo + chunk, L - c + 1)
+            # k <= l is masked via `empty`; k > L - c + 1 self-masks
+            # through prev's inf rows.
+            cand = np.maximum(
+                head[lo:hi, :, :, None], tail[None, :, :, :]
+            )
+            flat = cand.reshape(hi - lo, (L + 1) * nr, ng)
+            pick = np.argmin(flat, axis=1)
+            vals = np.take_along_axis(flat, pick[:, None, :], axis=1)[:, 0]
+            cur[lo:hi, c:] = vals
+            ls, gi = np.nonzero(vals < _INF)
+            ki, ri = np.divmod(pick[ls, gi], nr)
+            for li, g_i, k_i, r_i in zip(ls, gi, ki, ri):
+                choice[(c, int(lo + li), int(gs[g_i]))] = (
+                    int(k_i), int(rs[r_i])
+                )
+        suffix[c] = cur
+    return suffix, choice
+
+
 def plan_dapple(
     profile: ModelProfile,
     num_gpus: int,
     global_batch_size: int,
+    *,
+    impl: str = "vector",
 ) -> PlannedConfig:
-    """Run the DAPPLE planner and return its chosen configuration."""
+    """Run the DAPPLE planner and return its chosen configuration.
+
+    ``impl`` selects the suffix-DP table fill: ``"vector"`` (default)
+    uses broadcast numpy relaxations, ``"scalar"`` the original loops.
+    Both produce bit-identical tables and therefore identical plans.
+    """
+    if impl not in _IMPLS:
+        raise ValueError(f"impl must be one of {_IMPLS}, got {impl!r}")
     t0 = _time.perf_counter()
     sim_cache = default_sim_cache()
     mbs = profile.train.micro_batch_size
@@ -150,38 +297,10 @@ def plan_dapple(
     # suffix[c][l][g]: minimal max stage period covering units l..L with g
     # devices in c stages (all of which hide their allreduce in cooldown
     # slack, so bottleneck alone ranks them).
-    suffix: List[Optional[List[List[float]]]] = [None] * max_stages
-    choice: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
-    last = [[_INF] * (G + 1) for _ in range(L + 1)]
-    for l in range(L):
-        for g in range(1, G + 1):
-            # The last stage keeps a single micro-batch in flight.
-            if feasible(l, L, g, 1):
-                last[l][g] = seg(l, L) / g
-    suffix[1] = last
-    for c in range(2, max_stages):
-        cur = [[_INF] * (G + 1) for _ in range(L + 1)]
-        prev = suffix[c - 1]
-        for l in range(L - c, -1, -1):
-            for g in range(c, G + 1):
-                best = _INF
-                best_choice = None
-                for k in range(l + 1, L - c + 2):
-                    for r in range(1, g - (c - 1) + 1):
-                        if prev[k][g - r] == _INF:
-                            continue
-                        # The head of a c-stage suffix keeps c micro-batches
-                        # in flight under 1F1B.
-                        if not feasible(l, k, r, c):
-                            continue
-                        cand = max(prev[k][g - r], seg(l, k) / r)
-                        if cand < best:
-                            best = cand
-                            best_choice = (k, r)
-                cur[l][g] = best
-                if best_choice is not None:
-                    choice[(c, l, g)] = best_choice
-        suffix[c] = cur
+    fill = _fill_vector if impl == "vector" else _fill_scalar
+    suffix, choice = fill(
+        t_pre, p_pre, act_pre, ws_pre, L, G, m, max_stages, capacity
+    )
 
     def reconstruct(s: int, k1: int, r1: int) -> Tuple[List[int], List[int]]:
         sizes = [k1]
@@ -236,22 +355,50 @@ def plan_dapple(
     # enumerated explicitly because only its allreduce is unhidden (no
     # cooldown slack precedes it); budgeted conservatively at 2x the ring
     # time (bucketing + straggler margin).
+    # The head-stage feasibility, allreduce and placement verdicts are
+    # pure functions of small keys that recur across thousands of
+    # (s, k1, r1) candidates — memoized, not recomputed.
+    placement_cache: Dict[Tuple[int, ...], bool] = {}
+    head_feasible: Dict[Tuple[int, int, int], bool] = {}
+    allreduce_cache: Dict[Tuple[int, int], float] = {}
     for s in range(2, max_stages + 1):
         for k1 in range(1, L - (s - 1) + 1):
             for r1 in range(1, G - (s - 1) + 1):
                 tail = suffix[s - 1][k1][G - r1]
-                if tail == _INF or not feasible(0, k1, r1, s):
+                if tail == _INF:
                     continue
-                # DAPPLE validates device placement per candidate plan.
-                sizes, replicas = reconstruct(s, k1, r1)
-                if not _placement_ok(replicas, hw.gpus_per_node, hw.num_nodes):
+                fkey = (k1, r1, min(m, s))
+                head_ok = head_feasible.get(fkey)
+                if head_ok is None:
+                    head_ok = feasible(0, k1, r1, s)
+                    head_feasible[fkey] = head_ok
+                if not head_ok:
                     continue
                 p = max(seg(0, k1) / r1, tail)
-                unhidden = 2.0 * allreduce_seconds(p_pre[k1], r1, hw)
+                unhidden = allreduce_cache.get((k1, r1))
+                if unhidden is None:
+                    unhidden = 2.0 * allreduce_seconds(p_pre[k1], r1, hw)
+                    allreduce_cache[(k1, r1)] = unhidden
                 # Analytical lower bound prunes hopeless candidates before
-                # the (expensive) simulation.
+                # reconstruction, placement and the (expensive)
+                # simulation; neither pruned nor placement-rejected
+                # candidates touch the incumbents, so checking the bound
+                # first is a pure reordering.
                 bound = (m - 1) * p + unhidden
                 if bound > 1.5 * best_bound:
+                    continue
+                # DAPPLE validates device placement per candidate plan;
+                # the verdict only depends on the replica vector, which
+                # recurs heavily across (s, k1, r1) candidates.
+                sizes, replicas = reconstruct(s, k1, r1)
+                key = tuple(replicas)
+                ok = placement_cache.get(key)
+                if ok is None:
+                    ok = _placement_ok(
+                        replicas, hw.gpus_per_node, hw.num_nodes
+                    )
+                    placement_cache[key] = ok
+                if not ok:
                     continue
                 best_bound = min(best_bound, bound)
                 cost = simulate(sizes, replicas) + unhidden

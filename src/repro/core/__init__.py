@@ -9,7 +9,11 @@ from repro.core.analytic_sim import (
     simulate_partition,
 )
 from repro.core.autopipe import AutoPipeSolution, autopipe_plan
-from repro.core.balance_dp import balanced_partition, min_max_partition
+from repro.core.balance_dp import (
+    BalanceTable,
+    balanced_partition,
+    min_max_partition,
+)
 from repro.core.exhaustive import ExhaustiveResult, exhaustive_partition
 from repro.core.parallel_search import (
     ParallelUnavailable,
@@ -45,6 +49,7 @@ __all__ = [
     "simulate_partition",
     "AutoPipeSolution",
     "autopipe_plan",
+    "BalanceTable",
     "balanced_partition",
     "min_max_partition",
     "ExhaustiveResult",

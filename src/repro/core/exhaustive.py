@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 import time as _time
 from bisect import bisect_right
 from dataclasses import dataclass
@@ -139,6 +140,12 @@ class ExhaustiveResult:
     robust_value: Optional[float] = None
     #: worker processes the search ran on (1 = in-process serial).
     jobs: int = 1
+    #: worker processes asked for (after resolving the process default,
+    #: before clamping to the machine's core count).  Spawning more
+    #: workers than cores only adds pool overhead — BENCH_search.json's
+    #: ``parallel_oracle`` measured 0.8-0.9x "speedups" on starved
+    #: machines — so the dispatch clamps and records the request here.
+    requested_jobs: int = 1
     #: top-level cut subtrees processed per worker process when
     #: ``jobs > 1`` (sorted descending; empty for serial searches).  The
     #: parallel bench and autotune logs use this to show shard balance.
@@ -147,6 +154,12 @@ class ExhaustiveResult:
     @property
     def iteration_time(self) -> float:
         return self.sim.iteration_time
+
+    @property
+    def jobs_downgraded(self) -> bool:
+        """True when the dispatch clamped ``jobs`` below the request
+        (fewer cores than workers asked for, or no pool available)."""
+        return self.jobs < self.requested_jobs
 
     @property
     def pruned(self) -> int:
@@ -1109,7 +1122,11 @@ def exhaustive_partition(
     )
     from repro.core.plan_cache import resolve_plan_cache
 
-    jobs = resolve_plan_jobs(jobs)
+    requested_jobs = resolve_plan_jobs(jobs)
+    # Spawning more workers than the machine has cores is pure process
+    # pool overhead (a single-core box pays 0.8-0.9x "speedups"): clamp
+    # the effective fan-out and record the request on the result.
+    jobs = min(requested_jobs, os.cpu_count() or 1)
     plan_cache = resolve_plan_cache(cache)
     cache_key = None
     if plan_cache is not None:
@@ -1224,6 +1241,7 @@ def exhaustive_partition(
         dominance_pruned=state.dominance_pruned,
         robust_value=state.best_time if robust is not None else None,
         jobs=used_jobs if ran_parallel else 1,
+        requested_jobs=requested_jobs,
         worker_subtrees=worker_subtrees,
     )
     if plan_cache is not None and cache_key is not None:

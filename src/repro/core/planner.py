@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.analytic_sim import PipelineSim, PrefixState, SimResult
-from repro.core.balance_dp import min_max_partition
+from repro.core.balance_dp import BalanceTable
 from repro.core.partition import PartitionScheme, StageTimes
 from repro.models.transformer import layer_groups
 from repro.profiling.modelconfig import ModelProfile
@@ -203,6 +203,20 @@ class _UnitSpace:
         self.workspace = [
             max(profile.blocks[i].workspace_bytes for i in u) for u in units
         ]
+        self._balance: Optional[BalanceTable] = None
+
+    def balance_table(self, max_stages: int) -> BalanceTable:
+        """The shared Algorithm-1 table over this space's unit weights.
+
+        One table answers every (prefix, stages) rebalance query the
+        planner makes — the seed and all master-shift candidates — so
+        the DP runs once per plan instead of once per shift.
+        """
+        cached = self._balance
+        if cached is None or cached.max_stages < max_stages:
+            cached = BalanceTable(self.weights, max_stages)
+            self._balance = cached
+        return cached
 
     def stage_memory(self, sizes: Sizes, num_micro_batches: int) -> List[float]:
         """Predicted per-stage peak bytes under 1F1B for this partition."""
@@ -296,7 +310,7 @@ def _shift_candidates(
         out.append(tuple(plain))
         # Rebalance the enlarged prefix (stages 0..master-1) with Alg. 1.
         prefix_units = sum(sizes[:master]) + 1
-        rebalanced = min_max_partition(space.weights[:prefix_units], master)
+        rebalanced = space.balance_table(n).sizes(master, prefix_units)
         out.append(tuple(rebalanced) + (sizes[master] - 1,) + tuple(sizes[master + 1:]))
     if 0 < master < n - 1 and sizes[master] >= 2:
         # Last unit of the master joins the next stage.
@@ -306,7 +320,7 @@ def _shift_candidates(
         out.append(tuple(plain))
         # Rebalance stages 0..master (minus the moved unit) with Alg. 1.
         prefix_units = sum(sizes[:master + 1]) - 1
-        rebalanced = min_max_partition(space.weights[:prefix_units], master + 1)
+        rebalanced = space.balance_table(n).sizes(master + 1, prefix_units)
         out.append(
             tuple(rebalanced) + (sizes[master + 1] + 1,) + tuple(sizes[master + 2:])
         )
@@ -509,7 +523,7 @@ def plan_partition(
                 history.append((sizes, sim.iteration_time))
         return sim
 
-    seed = tuple(min_max_partition(space.weights, num_stages))
+    seed = tuple(space.balance_table(num_stages).sizes(num_stages))
     best_sizes: Optional[Sizes] = None
     best_sim: Optional[SimResult] = None
     best_value: Optional[float] = None

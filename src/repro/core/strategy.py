@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.baselines.common import PlannedConfig, config_memory
-from repro.core.balance_dp import balanced_partition
+from repro.core.balance_dp import BalanceTable
 from repro.core.partition import PartitionScheme
 from repro.core.planner import SimCache, default_sim_cache, plan_partition
 from repro.profiling.modelconfig import ModelProfile
@@ -122,6 +122,9 @@ def autopipe_config(
         raise ValueError("global batch not divisible by micro-batch size")
     m_total = global_batch_size // mbs
 
+    # One Algorithm-1 table over the block times answers the seed of
+    # every divisor depth the walk probes.
+    balance: Optional[BalanceTable] = None
     for pp in sorted(
         p for p in range(1, num_gpus + 1) if num_gpus % p == 0
     ):
@@ -136,7 +139,12 @@ def autopipe_config(
         if pp == 1:
             seed = PartitionScheme((tuple(range(profile.num_blocks)),))
         else:
-            seed = balanced_partition(profile.block_times(), pp)
+            if balance is None:
+                balance = BalanceTable(
+                    profile.block_times(),
+                    min(num_gpus, profile.num_blocks),
+                )
+            seed = balance.partition(pp)
         repaired_seed = repair_memory(profile, seed, dp, m_total, mbs)
         if repaired_seed is None:
             continue
@@ -234,6 +242,7 @@ def autotune_config(
     jobs: Optional[int] = None,
     cache=None,
     oracle_max_space: int = 50_000,
+    batched_slices: bool = True,
 ) -> AutotuneResult:
     """Joint (data-parallel x pipeline-depth x slice-count) search.
 
@@ -260,19 +269,44 @@ def autotune_config(
     Memory-infeasible layouts are reported with status ``"OOM"``,
     depth-infeasible ones with ``"X"``; raises ``RuntimeError`` when no
     candidate is feasible.
+
+    ``batched_slices`` (default on) routes each layout's slice-count
+    sweep through :func:`repro.sim.slice_eval.evaluate_slice_counts`,
+    which emits the compiled DAG of every candidate directly (no
+    Schedule objects or instruction lowering) onto family-cached graph
+    structures and relaxes structure-sharing candidates in one batch —
+    bit-identical results (property-tested), several times faster.
+    ``batched_slices=False`` keeps the one-``run_pipeline``-per-count
+    reference path.
     """
     from repro.core.exhaustive import count_partitions, exhaustive_partition
     from repro.core.slicer import SlicePlan, solve_slice_count
+    from repro.hardware.cluster import Cluster
     from repro.parallel.grid import layouts_for
     from repro.runtime.trainer import run_pipeline
+    from repro.sim.slice_eval import evaluate_slice_counts
 
     t0 = _time.perf_counter()
+    cluster = Cluster(profile.hardware)
     if sim_cache is None:
         sim_cache = default_sim_cache()
     train = profile.train
     mbs = train.micro_batch_size
     m_total = train.global_batch_size // mbs
     candidates: list = []
+
+    # Shared Algorithm-1 table: every layout's repair fallback seeds
+    # from the same one-time DP instead of re-solving per depth.
+    balance: Optional[BalanceTable] = None
+
+    def _alg1_seed(depth: int) -> PartitionScheme:
+        nonlocal balance
+        if balance is None:
+            balance = BalanceTable(
+                profile.block_times(),
+                min(num_gpus, profile.num_blocks),
+            )
+        return balance.partition(depth)
 
     for layout in layouts_for(num_gpus, train):
         pp = layout.pipeline_stages
@@ -321,9 +355,7 @@ def autotune_config(
             ):
                 repaired = repair_memory(
                     profile,
-                    partition or balanced_partition(
-                        profile.block_times(), pp
-                    ),
+                    partition or _alg1_seed(pp),
                     dp, m_total, mbs,
                 )
                 if repaired is None:
@@ -343,16 +375,24 @@ def autotune_config(
             alg2 = solve_slice_count(times, m)
         except ValueError:
             alg2 = 0
-        for num_sliced in layout.slice_candidates(train):
-            if num_sliced == 0:
-                execution = run_pipeline(profile, partition, m)
-            else:
-                execution = run_pipeline(
-                    profile, partition, m, schedule="sliced",
-                    slice_plan=SlicePlan(
-                        num_sliced=num_sliced, num_micro_batches=m
-                    ),
-                )
+        slice_counts = list(layout.slice_candidates(train))
+        if batched_slices:
+            executions = evaluate_slice_counts(
+                profile, partition, m, slice_counts, cluster=cluster,
+            )
+        else:
+            executions = []
+            for num_sliced in slice_counts:
+                if num_sliced == 0:
+                    executions.append(run_pipeline(profile, partition, m))
+                else:
+                    executions.append(run_pipeline(
+                        profile, partition, m, schedule="sliced",
+                        slice_plan=SlicePlan(
+                            num_sliced=num_sliced, num_micro_batches=m
+                        ),
+                    ))
+        for num_sliced, execution in zip(slice_counts, executions):
             candidates.append(AutotuneCandidate(
                 layout=layout,
                 slice_count=num_sliced,

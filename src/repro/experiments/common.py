@@ -148,7 +148,13 @@ def format_float(v: float) -> str:
 def format_table(
     title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> str:
-    """Render an aligned plain-text table (the benches print these)."""
+    """Render an aligned plain-text table (the benches print these).
+
+    Rows shorter than the header (a baseline that reported no admissible
+    plans, a sweep cell that errored out) are padded with empty cells;
+    surplus cells are kept and sized into extra unlabelled columns, so a
+    ragged grid renders instead of raising.
+    """
 
     def cell(v: object) -> str:
         if isinstance(v, float):
@@ -156,7 +162,10 @@ def format_table(
         return str(v)
 
     grid = [list(map(cell, headers))] + [list(map(cell, r)) for r in rows]
-    widths = [max(len(row[c]) for row in grid) for c in range(len(headers))]
+    ncols = max(len(row) for row in grid)
+    for row in grid:
+        row.extend([""] * (ncols - len(row)))
+    widths = [max(len(row[c]) for row in grid) for c in range(ncols)]
     lines = [title]
     for i, row in enumerate(grid):
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))

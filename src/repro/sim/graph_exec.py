@@ -290,18 +290,32 @@ class GraphStructure:
             num_levels = int(level_arr.max()) + 1
             counts = np.bincount(level_arr, minlength=num_levels)
             starts = np.concatenate(([0], np.cumsum(counts)))
+            # Every destination node sits above level 0 (an incoming edge
+            # forces a positive longest-path depth) and, conversely, Kahn
+            # leaves a node at level 0 unless an edge raised it — so the
+            # nodes from ``starts[1]`` on each own exactly one contiguous
+            # group of ``dst_sorted``.  One global group-start scan then
+            # replaces the old per-level searchsorted/diff passes.
+            base = int(starts[1])
+            group_starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(dst_sorted)) + 1)
+            ).astype(np.intp)
+            if len(group_starts) != num_nodes - base or not np.array_equal(
+                dst_sorted[group_starts],
+                np.arange(base, num_nodes, dtype=np.intp),
+            ):
+                raise GraphCompileError(
+                    "node above level 0 without incoming edges"
+                )
             for lvl in range(1, num_levels):
                 lo, hi = int(starts[lvl]), int(starts[lvl + 1])
-                e0 = int(np.searchsorted(dst_sorted, lo))
-                e1 = int(np.searchsorted(dst_sorted, hi))
-                seg = dst_sorted[e0:e1]
-                off = np.concatenate(
-                    ([0], np.flatnonzero(np.diff(seg)) + 1)
-                ).astype(np.intp)
-                if len(off) != hi - lo:
-                    raise GraphCompileError(
-                        "node above level 0 without incoming edges"
-                    )
+                g0, g1 = lo - base, hi - base
+                e0 = int(group_starts[g0])
+                e1 = (
+                    int(group_starts[g1])
+                    if g1 < len(group_starts) else num_edges
+                )
+                off = group_starts[g0:g1] - e0
                 levels.append(
                     (lo, hi, e0, e1, src_sorted[e0:e1].copy(), off)
                 )

@@ -65,6 +65,22 @@ class TestFormatting:
         assert "---" in lines[2]
         assert lines[3].endswith("2.5")
 
+    def test_format_table_short_rows(self):
+        """A baseline with zero admissible plans emits a short row; it
+        must pad, not raise."""
+        text = format_table(
+            "T", ["method", "time", "plans"],
+            [["piper", 1.5, 3], ["dapple (none)"]],
+        )
+        lines = text.splitlines()
+        assert lines[-1].strip().startswith("dapple (none)")
+        # every body line is aligned to the same width
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_format_table_long_rows(self):
+        text = format_table("T", ["a"], [["x", "extra"]])
+        assert "extra" in text
+
     def test_experiment_result_render(self):
         r = ExperimentResult(name="X", headers=["h"], rows=[["v"]])
         assert "X" in r.render()
