@@ -67,23 +67,30 @@ def run_incremental_oracle():
             TINY12, DEFAULT_CLUSTER_HW,
             TrainConfig(micro_batch_size=4, global_batch_size=gbs),
         )
+        # scorer pinned to the lattice path: this bench isolates the
+        # incremental layer; the analytic-kernel column lives in
+        # benchmarks/test_bench_analytic.py.
         old = exhaustive_partition(
-            profile, depth, m, incremental=False, max_evaluations=None
+            profile, depth, m, incremental=False, scorer="lattice",
+            max_evaluations=None,
         )
         new = exhaustive_partition(
-            profile, depth, m, incremental=True, max_evaluations=None
+            profile, depth, m, incremental=True, scorer="lattice",
+            max_evaluations=None,
         )
         assert new.iteration_time == old.iteration_time
         assert new.partition.stages == old.partition.stages
         t_old = _best_of(
             lambda: exhaustive_partition(
-                profile, depth, m, incremental=False, max_evaluations=None
+                profile, depth, m, incremental=False, scorer="lattice",
+                max_evaluations=None,
             ),
             reps,
         )
         t_new = _best_of(
             lambda: exhaustive_partition(
-                profile, depth, m, incremental=True, max_evaluations=None
+                profile, depth, m, incremental=True, scorer="lattice",
+                max_evaluations=None,
             ),
             reps,
         )

@@ -16,6 +16,15 @@ from repro.core.parallel_search import set_default_plan_jobs
 from repro.core.plan_cache import PlanCache, set_default_plan_cache
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.runner import SweepRunner, set_default_runner
+from repro.runtime.trainer import set_default_executor
+
+#: CLI spellings -> trainer executor names ("compiled" reads better on
+#: the command line than the internal "graph" tag).
+_EXECUTOR_CHOICES = {
+    "analytic": "analytic",
+    "compiled": "graph",
+    "event": "event",
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -56,6 +65,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="purge the sweep and plan caches before running",
     )
+    parser.add_argument(
+        "--executor",
+        choices=sorted(_EXECUTOR_CHOICES),
+        default=None,
+        help="schedule executor for pipeline runs: 'compiled' "
+             "(static-graph fast path, the default), 'event' (per-op "
+             "DES) or 'analytic' (graph-free clock interpreter; "
+             "schedules it cannot represent raise a clear error naming "
+             "the fallback)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -68,6 +87,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.plan_jobs != 1:
         set_default_plan_jobs(args.plan_jobs)
+    if args.executor is not None:
+        set_default_executor(_EXECUTOR_CHOICES[args.executor])
     plan_cache = None
     if args.plan_cache_dir is not None:
         plan_cache = set_default_plan_cache(PlanCache(args.plan_cache_dir))

@@ -115,7 +115,7 @@ class _Shape:
     __slots__ = (
         "n", "m", "ops", "index", "intra", "cross", "order",
         "kahn_pos", "stage", "is_fwd", "phases", "startup_index",
-        "final_index", "dur_index", "_levels", "_plans",
+        "final_index", "dur_index", "_levels", "_plans", "_preds",
     )
 
     def __init__(self, n: int, m: int) -> None:
@@ -193,6 +193,28 @@ class _Shape:
         self.dur_index = np.where(self.is_fwd, self.stage, self.stage + n)
         self._levels: Optional[List[Tuple[np.ndarray, ...]]] = None
         self._plans: Dict[int, "_SuffixPlan"] = {}
+        self._preds: Optional[Tuple[np.ndarray, ...]] = None
+
+    def pred_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Duration-independent arrays for the vectorised tight-pred table.
+
+        ``(cross, intra, cross_safe, intra_safe, has_cross, has_intra,
+        cross_stage, intra_stage)`` — the ``*_safe`` arrays clamp the
+        missing-predecessor sentinel -1 to 0 for gathers (masked out by
+        the ``has_*`` arrays).  Built lazily and cached with the shape.
+        """
+        cached = self._preds
+        if cached is None:
+            cross = np.asarray(self.cross, dtype=np.int64)
+            intra = np.asarray(self.intra, dtype=np.int64)
+            c_safe = np.maximum(cross, 0)
+            q_safe = np.maximum(intra, 0)
+            cached = (
+                cross, intra, c_safe, q_safe, cross >= 0, intra >= 0,
+                self.stage[c_safe], self.stage[q_safe],
+            )
+            self._preds = cached
+        return cached
 
     def levels(self) -> List[Tuple[np.ndarray, ...]]:
         """Wavefront plan for batched evaluation, built lazily.
@@ -707,11 +729,12 @@ class PipelineSim:
         last = int(candidates[np.argmin(shape.kahn_pos[candidates])])
         iteration_time = end[last]
 
+        best_pred = self._tight_pred_table(start_arr, end_arr).tolist()
         path_idx: List[int] = []
         cur = last
         while cur >= 0:
             path_idx.append(cur)
-            cur = self._tight_pred(cur, start, end, dur)
+            cur = best_pred[cur]
         path_idx.reverse()
 
         master = self._master_stage(path_idx, dur)
@@ -728,6 +751,40 @@ class PipelineSim:
             _phases=shape.phases,
         )
 
+    def _tight_pred_table(
+        self, start_arr: "np.ndarray", end_arr: "np.ndarray"
+    ) -> "np.ndarray":
+        """Critical predecessor of every op at once (-1 at sources).
+
+        Vectorised :meth:`_tight_pred`: the same tolerance arithmetic and
+        the same higher-``(stage, end)`` preference among tight
+        predecessors, evaluated as one pass of array expressions over all
+        ops instead of a Python walk per critical-path node — the planner
+        runs one backtrack per candidate, so this is its hottest
+        finalisation step.  Bit-identical selection by construction (each
+        op has at most two predecessors, so the scalar method's ordered
+        tie-break is a closed-form pick between ``cross`` and ``intra``).
+        """
+        cross, intra, c_safe, q_safe, has_c, has_q, sc, sq = (
+            self._shape.pred_arrays()
+        )
+        neg = -np.inf
+        ec = np.where(has_c, end_arr[c_safe], neg)
+        eq = np.where(has_q, end_arr[q_safe], neg)
+        comm = self.times.comm
+        if self.comm_mode == "paper":
+            base = np.maximum(np.maximum(ec, eq), 0.0)
+            lim = base - (1e-12 + 1e-9 * np.maximum(base, 1.0))
+            tight_c = has_c & (ec >= lim)
+            tight_q = has_q & (eq >= lim)
+        else:
+            lim = start_arr - (1e-12 + 1e-9 * np.maximum(start_arr, 1.0))
+            tight_c = has_c & (ec + comm >= lim)
+            tight_q = has_q & (eq >= lim)
+        prefer_q = tight_c & tight_q & ((sq > sc) | ((sq == sc) & (eq > ec)))
+        best = np.where(tight_c, cross, -1)
+        return np.where(prefer_q | (tight_q & ~tight_c), intra, best)
+
     def _tight_pred(
         self, i: int, start: List[float], end: List[float], dur: List[float]
     ) -> int:
@@ -735,8 +792,9 @@ class PipelineSim:
 
         Tightness uses the same tolerance as the recurrences; among tight
         predecessors the walk prefers the higher stage (paper Fig. 4), then
-        the latest-finishing.  Computed lazily: only ops on the backtracked
-        path ever need it.
+        the latest-finishing.  Scalar reference for
+        :meth:`_tight_pred_table` (which the backtrack uses); kept because
+        the per-op form *is* the specification the table must match.
         """
         shape = self._shape
         c, q = shape.cross[i], shape.intra[i]

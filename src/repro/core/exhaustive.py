@@ -112,6 +112,21 @@ _CHAIN_MIN_GROUP = 8
 #: whole search often costs less than that).
 _WARM_START_MIN_SPACE = 1_000_000
 
+#: admitted candidates assembled per frontier-kernel sweep in the
+#: analytic search (bounds peak memory at ~2 * p * 8 bytes per column;
+#: results are sweep-partition-invariant, so the block size is pure
+#: tuning).  ``chunk_size`` only overrides this upward — the kernel's
+#: fixed per-sweep cost would dominate at the suffix batches' default
+#: chunk of 1024.
+_ANALYTIC_BLOCK = 131_072
+
+#: columns below which a frontier sweep runs without the mid-sweep
+#: sieve.  On narrow blocks the sieve's checkpoint scans cost more than
+#: the lanes they retire (measured: a 3.9k-column depth-8 sweep is
+#: ~1.6x slower sieved), and skipping it is exact — the sieve only ever
+#: drops provably-over-limit columns.
+_SIEVE_MIN_COLS = 16_384
+
 
 @dataclass(frozen=True)
 class ExhaustiveResult:
@@ -579,6 +594,145 @@ def _search_pruned(
     flush()
 
 
+class _Bounds:
+    """The pruned searches' shared bound preamble.
+
+    Everything here is a pure function of ``(fwd, bwd, comm, p, m)`` —
+    the prefix sums, the min-max suffix DP, the exact per-``(pos,
+    size)`` slice sums and the per-``(s, pos)`` bound tables — computed
+    with the identical float expressions :func:`_search_pruned` derives
+    per node (see its docstring for the bound proofs).  Both the
+    incremental search and the analytic-kernel search read their prune
+    decisions from one instance, which is what keeps their admitted
+    candidate sets nested and their results bitwise equal.
+    """
+
+    def __init__(
+        self,
+        fwd: Sequence[float],
+        bwd: Sequence[float],
+        comm: float,
+        num_stages: int,
+        num_micro_batches: int,
+    ) -> None:
+        n = len(fwd)
+        p = num_stages
+        m = num_micro_batches
+        self._n = n
+        self._p = p
+        self._m = m
+        self._comm = comm
+        self.weights = [f + b for f, b in zip(fwd, bwd)]
+        prefw = [0.0]
+        for x in self.weights:
+            prefw.append(prefw[-1] + x)
+        self.prefw = prefw
+        inf = float("inf")
+        minmax = [[inf] * (n + 1) for _ in range(p + 1)]
+        for pos in range(n + 1):
+            minmax[1][pos] = prefw[n] - prefw[pos] if pos < n else inf
+        for k in range(2, p + 1):
+            for pos in range(n - k, -1, -1):
+                best = inf
+                for z in range(1, n - pos - k + 2):
+                    head = prefw[pos + z] - prefw[pos]
+                    if head >= best:
+                        break
+                    tail_v = minmax[k - 1][pos + z]
+                    cand = head if head > tail_v else tail_v
+                    if cand < best:
+                        best = cand
+                minmax[k][pos] = best
+        self.minmax = minmax
+        self.base_rt = prefw[n] + 2 * (p - 1) * comm
+        self.floor = self.base_rt + (m - 1) * self.weights[n - 1]
+
+        # Exact per-(pos, size) slice sums: left-fold accumulation
+        # starting at ``pos`` — the brute force's arithmetic, *not*
+        # prefix-sum differences, so candidate stage times stay bitwise
+        # identical.
+        slice_f: List[List[float]] = []
+        slice_b: List[List[float]] = []
+        for pos in range(n):
+            accf: List[float] = []
+            accb: List[float] = []
+            fa = 0.0
+            ba = 0.0
+            for i in range(pos, n):
+                fa += fwd[i]
+                ba += bwd[i]
+                accf.append(fa)
+                accb.append(ba)
+            slice_f.append(accf)
+            slice_b.append(accb)
+        self.slice_f = slice_f
+        self.slice_b = slice_b
+
+        # Leaf bounds: the last stage always starts at ``s = p - 1`` and
+        # spans ``pos..n-1``, so its bound is a pure function of ``pos``.
+        leaf_lb: List[float] = [inf] * n
+        for pos in range(p - 1, n):
+            f_sum = slice_f[pos][n - pos - 1]
+            b_sum = slice_b[pos][n - pos - 1]
+            leaf_lb[pos] = max(
+                prefw[pos] + 2 * (p - 1) * comm + m * (f_sum + b_sum),
+                self.base_rt + self.tail(p - 1, f_sum, b_sum),
+                self.floor,
+            )
+        self.leaf_lb = leaf_lb
+
+        #: (s, pos) -> (fixb, remb) bound lists, one entry per child
+        #: size.  ``fixb`` is monotone nondecreasing, so the DFS can
+        #: binary-search the largest admissible child size instead of
+        #: scanning.  For leaf-parent tables (``s == p - 2``) ``remb``
+        #: is pre-merged with the child leaf's own bound, collapsing the
+        #: per-leaf test to one compare.
+        self._tables: Dict[
+            Tuple[int, int], Tuple[List[float], List[float]]
+        ] = {}
+
+    def tail(self, stage: int, f_sum: float, b_sum: float) -> float:
+        """Work stage ``stage`` still owes after micro-batch 0 returns."""
+        m = self._m
+        w_cnt = min(m, self._p - 1 - stage)
+        steady = m - w_cnt
+        if steady >= 1:
+            return (steady - 1) * (f_sum + b_sum) + w_cnt * b_sum
+        return (m - 1) * b_sum
+
+    def get_table(self, s: int, pos: int) -> Tuple[List[float], List[float]]:
+        tab = self._tables.get((s, pos))
+        if tab is None:
+            n, p, m, comm = self._n, self._p, self._m, self._comm
+            prefw, minmax = self.prefw, self.minmax
+            base_rt, leaf_lb = self.base_rt, self.leaf_lb
+            max_size = n - pos - (p - s - 1)
+            base = prefw[pos] + 2 * s * comm
+            sf = self.slice_f[pos]
+            sb = self.slice_b[pos]
+            rem = p - s - 1
+            fixb: List[float] = []
+            remb: List[float] = []
+            for size in range(1, max_size + 1):
+                f_sum = sf[size - 1]
+                b_sum = sb[size - 1]
+                a = base + m * (f_sum + b_sum)
+                b = base_rt + self.tail(s, f_sum, b_sum)
+                fixb.append(a if a > b else b)
+                pos2 = pos + size
+                rb = prefw[pos2] + 2 * (s + 1) * comm + m * minmax[rem][pos2]
+                if m > rem:
+                    alt = base_rt + (m - rem) * minmax[rem][pos2]
+                    if alt > rb:
+                        rb = alt
+                if rem == 1 and leaf_lb[pos2] > rb:
+                    rb = leaf_lb[pos2]
+                remb.append(rb)
+            tab = (fixb, remb)
+            self._tables[(s, pos)] = tab
+        return tab
+
+
 def _search_incremental(
     fwd: Sequence[float],
     bwd: Sequence[float],
@@ -649,102 +803,12 @@ def _search_incremental(
     n = len(fwd)
     p = num_stages
     m = num_micro_batches
-    weights = [f + b for f, b in zip(fwd, bwd)]
-    prefw = [0.0]
-    for x in weights:
-        prefw.append(prefw[-1] + x)
-    inf = float("inf")
-    minmax = [[inf] * (n + 1) for _ in range(p + 1)]
-    for pos in range(n + 1):
-        minmax[1][pos] = prefw[n] - prefw[pos] if pos < n else inf
-    for k in range(2, p + 1):
-        for pos in range(n - k, -1, -1):
-            best = inf
-            for z in range(1, n - pos - k + 2):
-                head = prefw[pos + z] - prefw[pos]
-                if head >= best:
-                    break
-                tail_v = minmax[k - 1][pos + z]
-                cand = head if head > tail_v else tail_v
-                if cand < best:
-                    best = cand
-            minmax[k][pos] = best
-    base_rt = prefw[n] + 2 * (p - 1) * comm
-    floor = base_rt + (m - 1) * weights[n - 1]
-
-    def tail(stage: int, f_sum: float, b_sum: float) -> float:
-        w_cnt = min(m, p - 1 - stage)
-        steady = m - w_cnt
-        if steady >= 1:
-            return (steady - 1) * (f_sum + b_sum) + w_cnt * b_sum
-        return (m - 1) * b_sum
-
-    # Exact per-(pos, size) slice sums: left-fold accumulation starting
-    # at ``pos`` — the brute force's arithmetic, *not* prefix-sum
-    # differences, so candidate stage times stay bitwise identical.
-    slice_f: List[List[float]] = []
-    slice_b: List[List[float]] = []
-    for pos in range(n):
-        accf: List[float] = []
-        accb: List[float] = []
-        fa = 0.0
-        ba = 0.0
-        for i in range(pos, n):
-            fa += fwd[i]
-            ba += bwd[i]
-            accf.append(fa)
-            accb.append(ba)
-        slice_f.append(accf)
-        slice_b.append(accb)
-
-    # Leaf bounds: the last stage always starts at ``s = p - 1`` and
-    # spans ``pos..n-1``, so its bound is a pure function of ``pos``.
-    leaf_lb: List[float] = [inf] * n
-    for pos in range(p - 1, n):
-        f_sum = slice_f[pos][n - pos - 1]
-        b_sum = slice_b[pos][n - pos - 1]
-        leaf_lb[pos] = max(
-            prefw[pos] + 2 * (p - 1) * comm + m * (f_sum + b_sum),
-            base_rt + tail(p - 1, f_sum, b_sum),
-            floor,
-        )
-
-    #: (s, pos) -> (fixb, remb) bound lists, one entry per child size.
-    #: ``fixb`` is monotone nondecreasing, so the DFS can binary-search
-    #: the largest admissible child size instead of scanning.  For
-    #: leaf-parent tables (``s == p - 2``) ``remb`` is pre-merged with
-    #: the child leaf's own bound, collapsing the per-leaf test to one
-    #: compare.
-    tables: Dict[Tuple[int, int], Tuple[List[float], List[float]]] = {}
-
-    def get_table(s: int, pos: int) -> Tuple[List[float], List[float]]:
-        tab = tables.get((s, pos))
-        if tab is None:
-            max_size = n - pos - (p - s - 1)
-            base = prefw[pos] + 2 * s * comm
-            sf = slice_f[pos]
-            sb = slice_b[pos]
-            rem = p - s - 1
-            fixb: List[float] = []
-            remb: List[float] = []
-            for size in range(1, max_size + 1):
-                f_sum = sf[size - 1]
-                b_sum = sb[size - 1]
-                a = base + m * (f_sum + b_sum)
-                b = base_rt + tail(s, f_sum, b_sum)
-                fixb.append(a if a > b else b)
-                pos2 = pos + size
-                rb = prefw[pos2] + 2 * (s + 1) * comm + m * minmax[rem][pos2]
-                if m > rem:
-                    alt = base_rt + (m - rem) * minmax[rem][pos2]
-                    if alt > rb:
-                        rb = alt
-                if rem == 1 and leaf_lb[pos2] > rb:
-                    rb = leaf_lb[pos2]
-                remb.append(rb)
-            tab = (fixb, remb)
-            tables[(s, pos)] = tab
-        return tab
+    bounds = _Bounds(fwd, bwd, comm, p, m)
+    weights = bounds.weights
+    slice_f = bounds.slice_f
+    slice_b = bounds.slice_b
+    leaf_lb = bounds.leaf_lb
+    get_table = bounds.get_table
 
     #: leaves awaiting evaluation: (sizes, per-stage fwd, per-stage bwd).
     buffer: List[Tuple[Tuple[int, ...], Tuple[float, ...], Tuple[float, ...]]] = []
@@ -977,6 +1041,346 @@ def _search_incremental(
     flush()
 
 
+def _search_analytic(
+    fwd: Sequence[float],
+    bwd: Sequence[float],
+    comm: float,
+    num_stages: int,
+    num_micro_batches: int,
+    comm_mode: str,
+    sim_cache: Optional[SimCache],
+    state: _SearchState,
+    chunk_size: int,
+    prune_slack: float,
+    extra_seeds: Sequence[Tuple[int, ...]] = (),
+    first_sizes: Optional[frozenset] = None,
+    preset_warm: Optional[Dict[Tuple[int, ...], float]] = None,
+) -> None:
+    """Branch-and-bound scored by the closed-form max-plus kernel.
+
+    Same candidate admission as :func:`_search_incremental` — the
+    identical :class:`_Bounds` tables, seeds, dominance memo and slack
+    test — but leaves are *scored* by
+    :func:`repro.sim.analytic.frontier_times_transposed`: admitted
+    candidates are assembled into stage-major ``(p, K)`` cost matrices
+    (each row built from the exact left-fold slice sums, so every column
+    is bitwise the brute force's stage-time vector) and one frontier
+    sweep replaces thousands of lattice relaxations.  The kernel is
+    bit-identical to :class:`PipelineSimBatch`, and ties are resolved by
+    reconstructing every minimum-time column and offering the
+    lexicographically smallest — so the returned partition and time are
+    the brute-force argmin, property-tested against it.
+
+    Three deliberate structural differences from the incremental path,
+    all exactness-preserving:
+
+    * the admission limit is **fixed** after the warm seeds
+      (``seed_bound * prune_slack``) instead of tightening per flush.
+      Every candidate the evolving-limit search admits is admitted here
+      too (the set is a superset), so no optimum or tie can be lost;
+      the extra admitted columns cost one kernel lane each, not a
+      simulation.  It also makes the admitted set — hence
+      ``evaluations`` — deterministic across job counts, and it turns
+      admission *path-independent*: whether a child size is admitted
+      depends only on ``(s, pos)``, never on the DFS path, so the
+      recursion flattens into a **vectorized level expansion**.  Live
+      prefixes are numpy arrays (positions, sizes rows, stage-major
+      cost rows) expanded one stage at a time with ``repeat``/``tile``
+      gathers of the per-``(s, pos)`` admitted tables — no per-node
+      Python at all.  The dominance memo becomes a per-level
+      ``np.unique`` over ``(pos, f_stages, b_stages)`` rows: levels are
+      kept in lexicographic sizes order, so the first occurrence
+      ``np.unique`` keeps is exactly the twin the serial DFS would have
+      explored, and the removed twins are counted with the identical
+      ``comb`` arithmetic.
+    * flushes hand the *current* bound to the kernel's mid-sweep sieve,
+      which discards columns provably above it part-way through the
+      sweep.  The sieve only ever drops columns whose lower bound
+      exceeds a true candidate time (padded for rounding), so the
+      argmin and all its ties always survive to the final frontier.
+    * ``sim_cache`` interplay: the kernel scores every admitted column
+      regardless, so per-column cache peeks would buy nothing and cost
+      a Python loop.  Only each flush's *winner* is peeked (one lookup),
+      which keeps the "oracle harvests the planner's simulations"
+      accounting observable without reintroducing per-candidate work;
+      seed columns are excluded from ``evaluations`` exactly as the
+      incremental path's warm rows are.
+
+    The last-stage level is never materialized as prefixes: a leaf
+    parent at ``pos`` contributes ``prefix x admitted_sizes(pos)``
+    columns, where the admitted-size list (and its gathered cost
+    values) is shared by every parent at the same ``pos``.
+    """
+    from repro.sim.analytic import frontier_times_transposed
+
+    n = len(fwd)
+    p = num_stages
+    m = num_micro_batches
+
+    warm: Dict[Tuple[int, ...], float] = {}
+    if preset_warm is not None:
+        for seed, t in preset_warm.items():
+            warm[seed] = t
+            state.offer(seed, t)
+    else:
+        warm = _evaluate_seeds(
+            fwd, bwd, comm, p, m, comm_mode, sim_cache, state, extra_seeds,
+        )
+    if p == 1:
+        return  # the single candidate is the Algorithm-1 seed itself.
+
+    bounds = _Bounds(fwd, bwd, comm, p, m)
+    limit = state.bound * prune_slack
+    block = max(chunk_size, _ANALYTIC_BLOCK)
+    inf = float("inf")
+
+    fwd_v = np.asarray(fwd, dtype=np.float64)
+    bwd_v = np.asarray(bwd, dtype=np.float64)
+    prefw_v = np.asarray(bounds.prefw)
+    minmax_v = np.asarray(bounds.minmax)
+    leaf_pad = np.asarray(bounds.leaf_lb + [inf])
+    base_rt = bounds.base_rt
+    pos_col = np.arange(n)[:, None]
+    k_row = np.arange(n)[None, :]
+    src = pos_col + k_row
+    in_range = src < n
+    # Left-fold slice sums for every (pos, size - 1): ``cumsum`` runs
+    # the same sequential accumulation as the brute force's per-pos
+    # fold, so every entry is bitwise the candidate's stage cost.
+    SF = np.where(in_range, fwd_v[np.minimum(src, n - 1)], 0.0)
+    SB = np.where(in_range, bwd_v[np.minimum(src, n - 1)], 0.0)
+    np.cumsum(SF, axis=1, out=SF)
+    np.cumsum(SB, axis=1, out=SB)
+    SS = SF + SB
+    pos2_grid = np.minimum(src + 1, n)
+
+    def admitted_mask(s: int) -> np.ndarray:
+        """``(pos, size - 1)`` admission grid at level ``s``.
+
+        Elementwise the identical float expressions (same association
+        order) as :meth:`_Bounds.get_table`, so the admitted set equals
+        the DFS's bisect-plus-filter result at every ``pos`` — one grid
+        replaces a level's worth of per-``(s, pos)`` table walks.
+        """
+        w_cnt = min(m, p - 1 - s)
+        steady = m - w_cnt
+        if steady >= 1:
+            tail = (steady - 1) * SS + w_cnt * SB
+        else:
+            tail = (m - 1) * SB
+        base = prefw_v[:n] + 2 * s * comm
+        fixb = np.maximum(base[:, None] + m * SS, base_rt + tail)
+        rem = p - s - 1
+        mm = minmax_v[rem]
+        remb = (prefw_v + 2 * (s + 1) * comm) + m * mm
+        if m > rem:
+            np.maximum(remb, base_rt + (m - rem) * mm, out=remb)
+        if rem == 1:
+            np.maximum(remb, leaf_pad, out=remb)
+        valid = k_row < (n - pos_col - (p - s - 1))
+        return valid & (fixb <= limit) & (remb[pos2_grid] <= limit)
+
+    def first_sizes_mask() -> np.ndarray:
+        return np.array(
+            [(k + 1) in first_sizes for k in range(n)], dtype=bool
+        )[None, :]
+
+    def expand(mask: np.ndarray, pos_arr: np.ndarray):
+        """Fan a lex-ordered prefix level out through an admission grid.
+
+        ``np.nonzero`` walks the grid row-major, so each pos's admitted
+        sizes come out ascending; parents are already lex-ordered and
+        ``repeat`` keeps them grouped, so the expansion lands in lex
+        order directly — no sort.  Returns ``None`` when every prefix
+        is exhausted, else ``(rep, til, gidx-free gathers)`` wrapped as
+        ``(rep, til)`` with ``rep`` the parent index per child and
+        ``til`` the child's admitted size index.
+        """
+        W = mask.sum(axis=1)
+        W_col = W[pos_arr]
+        total = int(W_col.sum())
+        if total == 0:
+            return None
+        OFF = np.concatenate(([0], np.cumsum(W)))
+        flat_k = np.nonzero(mask)[1]
+        rep = np.repeat(np.arange(pos_arr.size), W_col)
+        starts = np.cumsum(W_col) - W_col
+        r = np.arange(total) - starts[rep]
+        til = flat_k[OFF[pos_arr][rep] + r]
+        return rep, til, W, OFF, flat_k, W_col
+
+    use_dominance = len(set(zip(fwd, bwd))) < n
+    if use_dominance:
+        # comb(a, b) lookup for the dominance counters (vectorized over
+        # the removed twins' positions).
+        comb_tab = np.array(
+            [[math.comb(a, b) if b <= a else 0 for b in range(p)]
+             for a in range(n)],
+            dtype=np.int64,
+        )
+        # Fixed mixing weights for the duplicate gate: equal prefixes
+        # hash equal bitwise, so a collision-free hash level provably
+        # has no twins and skips the exact row dedup outright.
+        hash_w = np.cos(np.arange(1, 2 * p + 1) * 12.9898) * 43758.5453
+
+    # Live prefixes of the current level, in lexicographic sizes order:
+    # block position, sizes rows and stage-major left-fold cost rows.
+    pos_arr = np.zeros(1, dtype=np.int64)
+    sizes_arr = np.zeros((0, 1), dtype=np.int64)
+    fs_arr = np.zeros((0, 1))
+    bs_arr = np.zeros((0, 1))
+
+    for lev in range(p - 2):
+        mask = admitted_mask(lev)
+        if lev == 0 and first_sizes is not None:
+            mask &= first_sizes_mask()
+        ex = expand(mask, pos_arr)
+        if ex is None:
+            return  # every subtree exceeds the seed bound: it stands.
+        rep, til = ex[0], ex[1]
+        total = rep.size
+        prow = pos_arr[rep]
+        new_sizes = np.empty((lev + 1, total), dtype=np.int64)
+        new_fs = np.empty((lev + 1, total))
+        new_bs = np.empty((lev + 1, total))
+        if lev:
+            new_sizes[:lev] = sizes_arr[:, rep]
+            new_fs[:lev] = fs_arr[:, rep]
+            new_bs[:lev] = bs_arr[:, rep]
+        new_sizes[lev] = til + 1
+        new_fs[lev] = SF[prow, til]
+        new_bs[lev] = SB[prow, til]
+        pos_arr = prow + til + 1
+        sizes_arr, fs_arr, bs_arr = new_sizes, new_fs, new_bs
+        if use_dominance and pos_arr.size > 1:
+            # The per-level dominance memo: twin prefixes share
+            # (pos, f_stages, b_stages), and every leaf below a twin
+            # only extends those stage times.  np.unique keeps the
+            # first occurrence — the lex-smallest twin, exactly the one
+            # the serial DFS explores — and the removed subtrees are
+            # counted with the DFS memo's comb arithmetic.
+            rows = lev + 1
+            h = (
+                pos_arr
+                + hash_w[:rows] @ fs_arr
+                + hash_w[p:p + rows] @ bs_arr
+            )
+            if np.unique(h).size < pos_arr.size:
+                key = np.ascontiguousarray(np.concatenate(
+                    [pos_arr[None, :].astype(np.float64), fs_arr, bs_arr]
+                ).T)
+                _, first_idx, counts = np.unique(
+                    key, axis=0, return_index=True, return_counts=True
+                )
+                if first_idx.size < pos_arr.size:
+                    dup = counts > 1
+                    state.dominance_pruned += int(np.sum(
+                        (counts[dup] - 1)
+                        * comb_tab[
+                            n - pos_arr[first_idx[dup]] - 1, p - lev - 2
+                        ]
+                    ))
+                    keep = np.sort(first_idx)
+                    pos_arr = pos_arr[keep]
+                    sizes_arr = sizes_arr[:, keep]
+                    fs_arr = fs_arr[:, keep]
+                    bs_arr = bs_arr[:, keep]
+
+    # -- leaf level: assemble every admitted candidate column ------------
+    mask = admitted_mask(p - 2)
+    if p == 2 and first_sizes is not None:
+        # Only with p == 2 is the leaf parent the top level: the shard
+        # restriction applies to the leaf cut itself.
+        mask &= first_sizes_mask()
+    ex = expand(mask, pos_arr)
+    if ex is None:
+        return
+    rep, til, W, OFF, flat_k, W_col = ex
+    total_cols = rep.size
+    prow = pos_arr[rep]
+    pos2 = prow + til + 1
+    # The last stage's size is forced by the second-to-last cut; its
+    # cost rows are the per-pos suffix totals.
+    q = np.arange(n)
+    suf_f = SF[q, n - q - 1]
+    suf_b = SB[q, n - q - 1]
+    fwd_mat = np.empty((p, total_cols))
+    bwd_mat = np.empty((p, total_cols))
+    if p > 2:
+        fwd_mat[:p - 2] = fs_arr[:, rep]
+        bwd_mat[:p - 2] = bs_arr[:, rep]
+    fwd_mat[p - 2] = SF[prow, til]
+    bwd_mat[p - 2] = SB[prow, til]
+    fwd_mat[p - 1] = suf_f[pos2]
+    bwd_mat[p - 1] = suf_b[pos2]
+
+    # Seed columns ride the sweep too (the kernel reproduces their
+    # simulated time bitwise) but are not fresh evaluations; their
+    # prefixes are matched against the deduped level, so a seed whose
+    # twin subtree was dominance-pruned correctly counts as a fresh
+    # column under the surviving twin's sizes.
+    col_off = np.cumsum(W_col) - W_col
+    warm_cols: set = set()
+    for wseed in warm:
+        pw = sum(wseed[:p - 2])
+        if p == 2:
+            sel = np.flatnonzero(pos_arr == pw)
+        else:
+            sel = np.flatnonzero(
+                (pos_arr == pw)
+                & (sizes_arr == np.asarray(
+                    wseed[:p - 2], dtype=np.int64
+                )[:, None]).all(axis=0)
+            )
+        k = wseed[p - 2] - 1
+        for i in sel.tolist():
+            pv = int(pos_arr[i])
+            if 0 <= k < n and mask[pv, k]:
+                row = flat_k[OFF[pv]:OFF[pv] + W[pv]]
+                warm_cols.add(
+                    int(col_off[i]) + int(np.searchsorted(row, k))
+                )
+
+    for c0 in range(0, total_cols, block):
+        c1 = min(c0 + block, total_cols)
+        cur = state.bound * prune_slack
+        # The mid-sweep sieve's per-checkpoint scan only pays for itself
+        # on wide blocks; narrow ones run the plain (exact) sweep.
+        times, keepmap = frontier_times_transposed(
+            fwd_mat[:, c0:c1], bwd_mat[:, c0:c1], comm, m,
+            comm_mode=comm_mode,
+            limit=cur if c1 - c0 >= _SIEVE_MIN_COLS else None,
+        )
+        evals = (c1 - c0) - sum(1 for w in warm_cols if c0 <= w < c1)
+        if times.size:
+            tmin = times.min()
+            ties = np.flatnonzero(times == tmin)
+            cols = keepmap[ties] if keepmap is not None else ties
+            best: Optional[Tuple[int, ...]] = None
+            for c in (cols + c0).tolist():
+                i = int(rep[c])
+                sz = tuple(int(x) for x in sizes_arr[:, i]) + (
+                    int(til[c]) + 1,
+                    n - int(pos_arr[i]) - int(til[c]) - 1,
+                )
+                if best is None or sz < best:
+                    best = sz
+            # One peek per flush: enough to observe "the planner already
+            # simulated this winner" without a per-column Python loop
+            # (the kernel scored every column either way).
+            if sim_cache is not None and best not in warm:
+                cached = sim_cache.peek(
+                    StageTimes(*_stage_sums(fwd, bwd, best), comm),
+                    m, comm_mode,
+                )
+                if cached is not None:
+                    state.cache_hits += 1
+                    evals -= 1
+            state.offer(best, float(tmin))
+        state.evaluations += evals
+        state.sync()
+
+
 def _evaluate_seeds(
     fwd: Sequence[float],
     bwd: Sequence[float],
@@ -1039,6 +1443,7 @@ def exhaustive_partition(
     chunk_size: int = _DEFAULT_CHUNK,
     prune_slack: float = _PRUNE_SLACK,
     robust: Optional[RobustObjective] = None,
+    scorer: str = "analytic",
     jobs: Optional[int] = None,
     cache=None,
 ) -> ExhaustiveResult:
@@ -1082,6 +1487,21 @@ def exhaustive_partition(
     reported as ``ExhaustiveResult.robust_value``, while ``sim`` stays
     the winner's *nominal* simulation.
 
+    ``scorer`` selects the candidate evaluator for the default
+    (``prune=True, incremental=True, robust=None``) path:
+    ``"analytic"`` (default) scores chunk flushes with the closed-form
+    max-plus frontier kernel (:mod:`repro.sim.analytic`) — the same
+    bound tables and dominance memo admit candidates, but one stage-major
+    ``(p, K)`` sweep replaces the per-row suffix relaxations, and the
+    kernel's mid-sweep sieve discards columns provably above the
+    incumbent part-way through.  ``"lattice"`` keeps the
+    prefix-checkpointed :class:`SuffixSimBatch` path.  Both return the
+    bit-identical partition and iteration time (the kernel is
+    property-tested bitwise against the lattice executors); the knob is
+    part of the plan-cache key because the observability counters
+    differ.  Ignored (with no effect on the result) by the brute,
+    pruned-only and robust paths, which have no batched scorer choice.
+
     ``jobs`` (default: the process-wide ``--plan-jobs`` setting, 1 when
     unset) shards the search over worker processes by top-level cut
     position, sharing the incumbent bound between chunk flushes — see
@@ -1114,6 +1534,10 @@ def exhaustive_partition(
         raise ValueError(
             f"prune_slack must be a finite float >= 1.0, got {prune_slack!r}"
         )
+    if scorer not in ("analytic", "lattice"):
+        raise ValueError(
+            f"scorer must be 'analytic' or 'lattice', got {scorer!r}"
+        )
     # Lazy imports: parallel_search imports this module at top level.
     from repro.core.parallel_search import (
         ParallelUnavailable,
@@ -1134,7 +1558,7 @@ def exhaustive_partition(
             profile, num_stages, num_micro_batches,
             comm_mode=comm_mode, prune=prune, incremental=incremental,
             planner_warm_start=planner_warm_start, chunk_size=chunk_size,
-            prune_slack=prune_slack, robust=repr(robust),
+            prune_slack=prune_slack, robust=repr(robust), scorer=scorer,
         )
         stored = plan_cache.load(cache_key, expect=ExhaustiveResult)
         if stored is not None:
@@ -1147,6 +1571,8 @@ def exhaustive_partition(
 
     if robust is not None:
         mode = "robust"
+    elif prune and incremental and scorer == "analytic":
+        mode = "analytic"
     elif prune and incremental:
         mode = "incremental"
     elif prune:
@@ -1155,7 +1581,7 @@ def exhaustive_partition(
         mode = "brute"
 
     extra_seeds: List[Tuple[int, ...]] = []
-    if mode == "incremental":
+    if mode in ("incremental", "analytic"):
         if planner_warm_start is None:
             planner_warm_start = space >= _WARM_START_MIN_SPACE
         if planner_warm_start and num_stages > 1:
@@ -1178,13 +1604,13 @@ def exhaustive_partition(
     ran_parallel = False
     warm: Optional[Dict[Tuple[int, ...], float]] = None
     if jobs > 1 and num_stages > 1:
-        if mode in ("incremental", "pruned"):
+        if mode in ("incremental", "pruned", "analytic"):
             # Seeds are evaluated once, parent-side; every worker gets
             # the same warm incumbents the serial search would compute.
             warm = _evaluate_seeds(
                 fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
                 sim_cache, state,
-                extra_seeds if mode == "incremental" else (),
+                extra_seeds if mode != "pruned" else (),
             )
         try:
             used_jobs, worker_subtrees = run_parallel_search(
@@ -1203,6 +1629,12 @@ def exhaustive_partition(
             _search_robust(
                 fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
                 state, chunk_size, robust,
+            )
+        elif mode == "analytic":
+            _search_analytic(
+                fwd, bwd, comm, num_stages, num_micro_batches, comm_mode,
+                sim_cache, state, chunk_size, prune_slack, extra_seeds,
+                preset_warm=warm,
             )
         elif mode == "incremental":
             _search_incremental(

@@ -126,7 +126,12 @@ def _run_shard(first_size: int) -> dict:
         payload["num_stages"], payload["num_micro_batches"],
         payload["comm_mode"],
     )
-    if mode == "incremental":
+    if mode == "analytic":
+        ex._search_analytic(
+            *common, None, state, payload["chunk_size"],
+            payload["prune_slack"], (), first, payload["warm"],
+        )
+    elif mode == "incremental":
         ex._search_incremental(
             *common, None, state, payload["chunk_size"],
             payload["prune_slack"], (), first, payload["warm"],

@@ -51,6 +51,9 @@ _FINGERPRINT_MODULES = (
     "repro.core.balance_dp",
     "repro.core.exhaustive",
     "repro.core.planner",
+    # The frontier kernel scores the default oracle path: a change to it
+    # must invalidate cached plans exactly like a change to the search.
+    "repro.sim.analytic",
 )
 
 _code_fingerprint: Optional[str] = None

@@ -39,8 +39,15 @@ from repro.robustness.evaluate import RobustObjective, robust_objective_value
 
 Sizes = Tuple[int, ...]
 
-#: cache key: per-stage times, micro-batch count and comm mode.
-_SimKey = Tuple[Tuple[float, ...], Tuple[float, ...], float, int, str]
+#: cache key: per-stage times, micro-batch count, comm mode and the
+#: scoring executor that produced the result.  Every lattice-family
+#: evaluator (scalar :class:`PipelineSim`, the batched/suffix paths and
+#: the closed-form frontier kernel of :mod:`repro.sim.analytic`) is
+#: bit-identical and shares the default ``"lattice"`` family tag;
+#: results from executors with different semantics (the event-driven
+#: engine's DES timings, say) must carry their own tag so cached values
+#: never alias across scorers.
+_SimKey = Tuple[Tuple[float, ...], Tuple[float, ...], float, int, str, str]
 
 
 class SimCache:
@@ -85,16 +92,26 @@ class SimCache:
         return self.hits / total if total else 0.0
 
     def peek(
-        self, times: StageTimes, num_micro_batches: int, comm_mode: str
+        self,
+        times: StageTimes,
+        num_micro_batches: int,
+        comm_mode: str,
+        executor: str = "lattice",
     ) -> Optional[SimResult]:
         """Cache lookup that never simulates: the memoised result or None.
 
         Counts a hit when present; a miss leaves the counters untouched
         (``misses`` keeps meaning "simulations actually run").  Used by the
         exhaustive oracle to harvest vectors the planner already evaluated
-        before falling through to batched evaluation.
+        before falling through to batched evaluation.  ``executor`` is the
+        key's scoring-executor tag (see :data:`_SimKey`); the default
+        covers the whole bit-identical lattice family, frontier kernel
+        included.
         """
-        key = (times.fwd, times.bwd, times.comm, num_micro_batches, comm_mode)
+        key = (
+            times.fwd, times.bwd, times.comm, num_micro_batches, comm_mode,
+            executor,
+        )
         sim = self._data.get(key)
         if sim is not None:
             self.hits += 1
@@ -107,15 +124,20 @@ class SimCache:
         num_micro_batches: int,
         comm_mode: str,
         runner: Optional[Callable[[], SimResult]] = None,
+        executor: str = "lattice",
     ) -> SimResult:
         """Return the memoised simulation of ``times``, running it once.
 
         ``runner`` substitutes the evaluation on a miss — the incremental
         planner path passes a prefix-state resume here.  Any runner must
-        be bit-identical to the cold simulation (the resume API is), so
-        cached semantics are unchanged.
+        be bit-identical to the cold simulation under the entry's
+        ``executor`` tag (the resume API is, for the default lattice
+        family), so cached semantics are unchanged.
         """
-        key = (times.fwd, times.bwd, times.comm, num_micro_batches, comm_mode)
+        key = (
+            times.fwd, times.bwd, times.comm, num_micro_batches, comm_mode,
+            executor,
+        )
         sim = self._data.get(key)
         if sim is not None:
             self.hits += 1

@@ -4,26 +4,22 @@ A robustness profile of a candidate partition answers "what does the
 iteration time look like across ``K`` perturbation draws?".  Evaluating
 it naively costs ``K`` scalar :class:`~repro.core.analytic_sim.PipelineSim`
 runs; here the ``K`` perturbed stage-time vectors are stacked into one
-``(K, n)`` matrix and relaxed in a single
-:class:`~repro.core.analytic_sim.PipelineSimBatch` pass — the batched
-fast path PRs 2–4 built — so a 256-draw profile costs about one batched
-relaxation (benchmarks/test_bench_robustness.py guards the >= 5x win).
+``(K, n)`` matrix and scored in a single closed-form max-plus frontier
+sweep (:func:`repro.sim.analytic.frontier_times`) — no lattice, no graph,
+one ``(n, K)`` broadcast recurrence — so a 256-draw profile costs a few
+fused numpy passes (benchmarks/test_bench_robustness.py guards the win).
+The ``(K,)`` per-draw comm degradations map directly onto the kernel's
+vector-comm broadcast.
 
-Two extra routes keep searches cheap:
-
-* when the draws leave a stage prefix untouched (a fixed straggler on a
-  late stage, no comm perturbation), :func:`robust_iteration_times`
-  checkpoints the *nominal* prefix once and completes all ``K`` draws
-  through :class:`~repro.core.analytic_sim.SuffixSimBatch` — valid
-  because unperturbed factors are exactly ``1.0`` and ``x * 1.0 == x``
-  bitwise, so every draw shares the nominal prefix bit for bit;
-* the oracle's brute-force sweep evaluates whole *chunks* of candidates
-  under all draws at once (:func:`robust_objective_batch`): ``C``
-  candidates x ``K`` draws become one ``(C*K, n)`` batch.
+The oracle's brute-force sweep evaluates whole *chunks* of candidates
+under all draws at once (:func:`robust_objective_batch`): ``C``
+candidates x ``K`` draws become one ``(C*K, n)`` kernel call.
 
 Everything here is bit-for-bit identical to ``K`` scalar perturbed sims
-(tests/robustness/test_perturbation.py property-checks both comm modes
-and both routes).
+(tests/robustness/test_perturbation.py property-checks both comm modes;
+the kernel itself is property-tested bitwise against
+:class:`~repro.core.analytic_sim.PipelineSimBatch` in
+tests/sim/test_analytic.py).
 """
 
 from __future__ import annotations
@@ -33,8 +29,9 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.analytic_sim import PipelineSim, PipelineSimBatch, SuffixSimBatch
+from repro.core.analytic_sim import PipelineSim
 from repro.core.partition import StageTimes
+from repro.sim.analytic import frontier_times
 from repro.robustness.perturbation import (
     PerturbationModel,
     StageFactors,
@@ -101,28 +98,19 @@ def robust_iteration_times(
 ) -> np.ndarray:
     """Iteration time of one candidate under every draw, shape ``(K,)``.
 
-    One batched relaxation over the ``K`` perturbed stage-time vectors.
-    When the draws share an unperturbed stage prefix (fixed straggler,
-    no comm noise), the nominal prefix is checkpointed once and only the
-    suffix wavefront is relaxed per draw (:class:`SuffixSimBatch`); the
-    result is bit-identical either way.
+    One closed-form frontier sweep over the ``K`` perturbed stage-time
+    vectors — the per-draw comm degradations ride the kernel's ``(K,)``
+    vector-comm broadcast.  Values are bitwise what ``K`` scalar
+    perturbed :class:`PipelineSim` runs produce (the kernel's contract,
+    property-tested in ``tests/sim/test_analytic.py``); the former
+    lattice routes — full :class:`PipelineSimBatch` and the
+    nominal-prefix :class:`SuffixSimBatch` checkpoint — produced the
+    identical bits and are superseded by the single sweep.
     """
     fwd, bwd, comm = factors.apply(times)
-    cut = factors.prefix_cut()
-    if cut >= 1:
-        # All comm factors are 1.0 (prefix_cut requires it), so every
-        # draw runs at the nominal scalar comm and shares the nominal
-        # prefix lattice bit for bit.
-        state = PipelineSim(
-            times, num_micro_batches, comm_mode=comm_mode
-        ).prefix_state(cut)
-        batch = SuffixSimBatch(
-            state, fwd[:, cut:], bwd[:, cut:], need_start=False
-        )
-        return batch.iteration_times()
-    return PipelineSimBatch(
+    return frontier_times(
         fwd, bwd, comm, num_micro_batches, comm_mode=comm_mode
-    ).iteration_times()
+    )
 
 
 def robust_objective_value(
@@ -175,10 +163,9 @@ def robust_objective_batch(
     pf = np.repeat(fwd, k, axis=0) * np.tile(factors.fwd, (num_candidates, 1))
     pb = np.repeat(bwd, k, axis=0) * np.tile(factors.bwd, (num_candidates, 1))
     pc = np.tile(factors.comm * comm, num_candidates)
-    batch = PipelineSimBatch(
+    per_draw = frontier_times(
         pf, pb, pc, num_micro_batches, comm_mode=comm_mode
-    )
-    per_draw = batch.iteration_times().reshape(num_candidates, k)
+    ).reshape(num_candidates, k)
     return np.asarray(reduce_statistic(per_draw, statistic, axis=1))
 
 

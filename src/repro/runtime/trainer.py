@@ -21,8 +21,43 @@ from repro.schedules.base import Schedule
 from repro.schedules.gpipe import build_gpipe
 from repro.schedules.one_f_one_b import build_1f1b
 from repro.schedules.sliced import build_sliced
+from repro.sim.analytic import execute_analytic
 from repro.sim.engine import Engine, ExecutionResult
 from repro.sim.graph_exec import execute_fast
+
+#: executors by name.  ``"graph"`` is the compiled static-graph fast
+#: path (with its own engine fallback for graphs the compiler rejects),
+#: ``"event"`` the per-op DES, ``"analytic"`` the graph-free clock
+#: interpreter of :mod:`repro.sim.analytic` — bit-identical to the
+#: engine on every schedule it can represent, and raising
+#: :class:`~repro.sim.analytic.AnalyticUnsupported` (with the fallback
+#: instruction) on programs whose dataflow it cannot order.
+EXECUTORS = ("graph", "event", "analytic")
+
+_DEFAULT_EXECUTOR = "graph"
+
+
+def default_executor() -> str:
+    """The executor used when callers pass ``executor=None``."""
+    return _DEFAULT_EXECUTOR
+
+
+def set_default_executor(executor: str) -> str:
+    """Rebind the process-wide executor (CLI ``--executor``)."""
+    global _DEFAULT_EXECUTOR
+    _DEFAULT_EXECUTOR = resolve_executor(executor)
+    return _DEFAULT_EXECUTOR
+
+
+def resolve_executor(executor: Optional[str]) -> str:
+    """Resolve an ``executor=`` argument: ``None`` -> process default."""
+    if executor is None:
+        return _DEFAULT_EXECUTOR
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r} (choose from {EXECUTORS})"
+        )
+    return executor
 
 
 @dataclass(frozen=True)
@@ -79,25 +114,30 @@ def run_pipeline(
     schedule: str = "1f1b",
     slice_plan: Optional[SlicePlan] = None,
     cluster: Optional[Cluster] = None,
-    executor: str = "graph",
+    executor: Optional[str] = None,
 ) -> ExecutionResult:
     """Execute the pipeline portion of one iteration on the DES.
 
-    ``executor`` selects the substrate: ``"graph"`` (default) runs the
-    compiled static-graph fast path (bit-identical to the event engine,
-    with an automatic fallback for schedules the compiler rejects);
-    ``"event"`` forces the per-op event loop — useful when stepping
-    through a run or comparing the two executors.
+    ``executor`` selects the substrate (default: the process-wide
+    ``--executor`` setting, ``"graph"`` when unset): ``"graph"`` runs
+    the compiled static-graph fast path (bit-identical to the event
+    engine, with an automatic fallback for schedules the compiler
+    rejects); ``"event"`` forces the per-op event loop — useful when
+    stepping through a run or comparing executors; ``"analytic"`` runs
+    the graph-free clock interpreter, which raises
+    :class:`~repro.sim.analytic.AnalyticUnsupported` with a clear
+    fallback instruction on schedules it cannot represent.
     """
     if cluster is None:
         cluster = Cluster(profile.hardware)
     built = build_schedule(profile, partition, num_micro_batches, schedule, slice_plan)
     devices = cluster.pipeline_devices(partition.num_stages)
+    executor = resolve_executor(executor)
     if executor == "graph":
         return execute_fast(built, cluster, device_map=devices)
     if executor == "event":
         return Engine(built, cluster, device_map=devices).run()
-    raise ValueError(f"unknown executor {executor!r}")
+    return execute_analytic(built, cluster, device_map=devices)
 
 
 def _optimizer_seconds(profile: ModelProfile, partition: PartitionScheme) -> float:
@@ -116,7 +156,7 @@ def run_iteration(
     schedule: str = "1f1b",
     slice_plan: Optional[SlicePlan] = None,
     cluster: Optional[Cluster] = None,
-    executor: str = "graph",
+    executor: Optional[str] = None,
 ) -> IterationResult:
     """Pipeline + gradient allreduce + optimizer step for one iteration."""
     execution = run_pipeline(

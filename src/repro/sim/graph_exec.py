@@ -384,7 +384,7 @@ class CompiledGraph:
     __slots__ = (
         "structure", "schedule_name", "num_devices", "static_bytes",
         "capacity", "node_add", "edge_w_walk", "recv_durs", "node_add_lvl",
-        "edge_w_lvl", "mem_deltas", "workspace",
+        "edge_w_lvl", "mem_deltas", "workspace", "_peaks",
     )
 
     def __init__(
@@ -407,6 +407,7 @@ class CompiledGraph:
         self.edge_w_lvl = self.edge_w_walk[structure.edge_perm]
         self.mem_deltas = np.asarray(walk.mem_deltas, dtype=np.float64)
         self.workspace = np.asarray(walk.workspace, dtype=np.float64)
+        self._peaks: Optional[Tuple[float, ...]] = None
 
     # -- evaluation --------------------------------------------------------
 
@@ -421,7 +422,18 @@ class CompiledGraph:
         return base
 
     def _device_peaks(self) -> List[float]:
-        """Peak bytes per device: alloc/release cumsum + prefix max."""
+        """Peak bytes per device: alloc/release cumsum + prefix max.
+
+        The memory replay is a pure function of compile-time walk data
+        (deltas, workspace, static bytes) — it never depends on the
+        relaxed times — so it runs once per graph and is memoised for
+        every later ``run()`` / :func:`run_batch` evaluation; the per-K
+        Python replay loop was the dominant per-call setup cost of
+        small-``K`` batches.
+        """
+        cached = self._peaks
+        if cached is not None:
+            return list(cached)
         offsets = self.structure.mem_offsets
         peaks = []
         for dev in range(self.num_devices):
@@ -433,6 +445,7 @@ class CompiledGraph:
                 held += self.workspace[c0:c1]
                 peak = max(0.0, float(held.max()))
             peaks.append(self.static_bytes[dev] + peak)
+        self._peaks = tuple(peaks)
         return peaks
 
     def run(self) -> ExecutionResult:
@@ -598,15 +611,25 @@ def run_batch(graphs: Sequence[CompiledGraph]) -> List[ExecutionResult]:
     if len(graphs) == 1:
         return [graphs[0].run()]
     k = len(graphs)
-    edge_w = np.stack([g.edge_w_lvl for g in graphs])
-    node_add = np.stack([g.node_add_lvl for g in graphs])
-    base = np.zeros((k, structure.num_nodes))
+    # Candidate-minor (nodes, K) layout: level gathers become contiguous
+    # row gathers and the segment max runs down axis 0, which measures
+    # ~15% faster than the (K, nodes) form at small K.  Bitwise safe:
+    # each segment reduces the same operand set with np.maximum (exact
+    # selection — all values are non-negative, so no -0.0/+0.0 ambiguity)
+    # and the adds pair the same elements.
+    edge_w = np.stack([g.edge_w_lvl for g in graphs], axis=1)
+    node_add = np.stack([g.node_add_lvl for g in graphs], axis=1)
+    base = np.zeros((structure.num_nodes, k))
     for lo, hi, e0, e1, src, off in structure.levels:
-        cand = base[:, src]
-        cand += edge_w[:, e0:e1]
-        base[:, lo:hi] = np.maximum.reduceat(cand, off, axis=1)
+        cand = base[src]
+        cand += edge_w[e0:e1]
+        base[lo:hi] = np.maximum.reduceat(cand, off, axis=0)
     end = base + node_add
-    return [g._result(base[i], end[i]) for i, g in enumerate(graphs)]
+    base_rows = np.ascontiguousarray(base.T)
+    end_rows = np.ascontiguousarray(end.T)
+    return [
+        g._result(base_rows[i], end_rows[i]) for i, g in enumerate(graphs)
+    ]
 
 
 def _perturb_plan(structure: GraphStructure) -> tuple:

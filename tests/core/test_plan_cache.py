@@ -163,6 +163,41 @@ class TestCrossProcess:
         assert repr(warm.partition.sizes) == out[0]
         assert repr(warm.iteration_time) == out[1]  # bitwise across processes
 
+    def test_edited_analytic_kernel_invalidates_replay(self, tmp_path):
+        """A subprocess whose frontier-kernel *source* differs stores under
+        a different code fingerprint, so this process gets a miss — an
+        edit to ``repro.sim.analytic`` (the default oracle scorer) must
+        invalidate cached plans exactly like an edit to the search."""
+        cache_dir = tmp_path / "cache"
+        script = (
+            "import pathlib\n"
+            "import repro.sim.analytic as kernel\n"
+            "import repro.core.plan_cache as pc\n"
+            "src = pathlib.Path(kernel.__file__).read_bytes()\n"
+            f"edited = pathlib.Path({str(tmp_path)!r}) / 'kernel_edited.py'\n"
+            "edited.write_bytes(src + b'\\n# tweaked frontier\\n')\n"
+            "kernel.__file__ = str(edited)\n"
+            "from tests.core.test_plan_cache import _profile\n"
+            "from repro.core.exhaustive import exhaustive_partition\n"
+            f"cache = pc.PlanCache({str(cache_dir)!r})\n"
+            "exhaustive_partition(_profile(), 4, 8, cache=cache)\n"
+            "print(pc.code_fingerprint())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH", ""), os.getcwd()) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        assert code_fingerprint() != out
+        cache = PlanCache(cache_dir)
+        assert len(cache) == 1
+        exhaustive_partition(_profile(), 4, 8, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert len(cache) == 2  # stored under this process's fingerprint
+
     def test_atomic_store_leaves_no_temp_files(self, tmp_path):
         cache = PlanCache(tmp_path)
         cache.store(cache.planner_key(_profile(), 2, 2), {"x": 1})
