@@ -3,6 +3,8 @@
     python -m repro fig9            # one experiment
     python -m repro all             # the full evaluation
     python -m repro list            # available experiments
+    python -m repro plan --model gpt2-345m --stages 4 --micro-batches 16
+    python -m repro telemetry report runs/t0   # re-render a saved run
 """
 
 from __future__ import annotations
@@ -27,7 +29,115 @@ _EXECUTOR_CHOICES = {
 }
 
 
+def _plan_main(argv: List[str]) -> int:
+    """``repro plan``: one partition search from the command line."""
+    parser = argparse.ArgumentParser(
+        prog="autopipe-repro plan",
+        description="Plan one pipeline partition (heuristic or oracle).",
+    )
+    parser.add_argument(
+        "--model", default="gpt2-345m",
+        help="benchmark model name from the zoo (default: gpt2-345m)",
+    )
+    parser.add_argument("--stages", type=int, required=True,
+                        help="pipeline depth (number of stages)")
+    parser.add_argument("--micro-batches", type=int, required=True,
+                        help="micro-batches per iteration")
+    parser.add_argument("--micro-batch-size", type=int, default=1,
+                        help="micro-batch size (default: 1)")
+    parser.add_argument(
+        "--oracle", action="store_true",
+        help="run the exhaustive branch-and-bound oracle instead of the "
+             "heuristic planner",
+    )
+    parser.add_argument("--comm-mode", choices=("paper", "edges"),
+                        default="paper")
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="record spans/counters and write events.jsonl, counters.json, "
+             "trace.json (Perfetto-loadable) and summary.txt into DIR",
+    )
+    parser.add_argument(
+        "--plan-jobs", type=int, default=1,
+        help="worker processes for the search (bit-identical to serial)",
+    )
+    parser.add_argument("--plan-cache-dir", default=None,
+                        help="persistent plan cache directory (default: off)")
+    args = parser.parse_args(argv)
+    if args.plan_jobs < 1:
+        parser.error(f"--plan-jobs must be >= 1, got {args.plan_jobs}")
+
+    from repro.experiments.common import make_profile
+    from repro.models.zoo import get_model
+
+    try:
+        model = get_model(args.model)
+    except KeyError as exc:
+        parser.error(str(exc))
+    profile = make_profile(model, args.micro_batch_size, args.micro_batches)
+    cache = None
+    if args.plan_cache_dir is not None:
+        cache = PlanCache(args.plan_cache_dir)
+    if args.oracle:
+        from repro.core.exhaustive import exhaustive_partition
+
+        result = exhaustive_partition(
+            profile, args.stages, args.micro_batches,
+            comm_mode=args.comm_mode, jobs=args.plan_jobs, cache=cache,
+            telemetry=args.telemetry,
+        )
+        extra = f"space {result.space}, jobs {result.jobs}"
+    else:
+        from repro.core.planner import plan_partition
+
+        result = plan_partition(
+            profile, args.stages, args.micro_batches,
+            comm_mode=args.comm_mode, jobs=args.plan_jobs, cache=cache,
+            telemetry=args.telemetry,
+        )
+        extra = f"granularity {result.granularity}"
+    print(f"model {model.name}, {args.stages} stages x "
+          f"{args.micro_batches} micro-batches"
+          + (" (oracle)" if args.oracle else " (planner)"))
+    print(f"partition: {tuple(result.partition.sizes)}")
+    print(f"iteration time: {result.iteration_time * 1e3:.3f} ms")
+    print(f"evaluations: {result.evaluations} ({extra}, "
+          f"{result.search_seconds * 1e3:.1f} ms search)")
+    if args.telemetry is not None:
+        from repro.obs import report_directory
+
+        print(f"\ntelemetry written to {args.telemetry}")
+        print(report_directory(args.telemetry))
+    return 0
+
+
+def _telemetry_main(argv: List[str]) -> int:
+    """``repro telemetry report <dir>``: re-render a saved run."""
+    parser = argparse.ArgumentParser(
+        prog="autopipe-repro telemetry",
+        description="Inspect saved telemetry run directories.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="print the summary of a run")
+    report.add_argument("directory", help="telemetry directory to render")
+    args = parser.parse_args(argv)
+    from repro.obs import report_directory
+
+    try:
+        print(report_directory(args.directory))
+    except FileNotFoundError as exc:
+        print(f"error: not a telemetry directory: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "plan":
+        return _plan_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        return _telemetry_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="autopipe-repro",
         description="Reproduce the AutoPipe (CLUSTER 2022) evaluation.",
@@ -66,6 +176,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="purge the sweep and plan caches before running",
     )
     parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="record search-stack telemetry for the whole invocation and "
+             "write the sink files (events.jsonl, counters.json, "
+             "trace.json, summary.txt) into DIR",
+    )
+    parser.add_argument(
         "--executor",
         choices=sorted(_EXECUTOR_CHOICES),
         default=None,
@@ -89,6 +207,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_plan_jobs(args.plan_jobs)
     if args.executor is not None:
         set_default_executor(_EXECUTOR_CHOICES[args.executor])
+    telemetry = None
+    if args.telemetry is not None:
+        from repro import obs
+
+        telemetry = obs.set_current(obs.Telemetry())
     plan_cache = None
     if args.plan_cache_dir is not None:
         plan_cache = set_default_plan_cache(PlanCache(args.plan_cache_dir))
@@ -131,6 +254,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: experiment {name!r} failed", file=sys.stderr)
             failed.append(name)
         print()
+    if telemetry is not None:
+        from repro import obs
+
+        telemetry.write(args.telemetry)
+        obs.set_current(None)
+        print(f"telemetry written to {args.telemetry}", file=sys.stderr)
     if failed:
         print(
             f"{len(failed)}/{len(names)} experiments failed: "

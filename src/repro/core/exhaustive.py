@@ -80,6 +80,8 @@ from repro.core.analytic_sim import (
 from repro.core.balance_dp import min_max_partition
 from repro.core.partition import PartitionScheme, StageTimes
 from repro.core.planner import SimCache, plan_partition
+from repro.obs import stats as _stats
+from repro.obs import telemetry as _obs
 from repro.profiling.modelconfig import ModelProfile
 from repro.robustness.evaluate import RobustObjective, robust_objective_batch
 
@@ -165,6 +167,10 @@ class ExhaustiveResult:
     #: ``jobs > 1`` (sorted descending; empty for serial searches).  The
     #: parallel bench and autotune logs use this to show shard balance.
     worker_subtrees: Tuple[int, ...] = ()
+    #: times the incumbent (best-so-far candidate) was replaced during
+    #: the search, summed across workers when sharded (folds into the
+    #: ``oracle.incumbent_updates`` telemetry counter).
+    incumbent_updates: int = 0
 
     @property
     def iteration_time(self) -> float:
@@ -183,10 +189,14 @@ class ExhaustiveResult:
 
     @property
     def sims_per_second(self) -> float:
-        """Search throughput: full simulations per wall-clock second."""
-        if self.search_seconds <= 0:
-            return 0.0
-        return self.evaluations / self.search_seconds
+        """Search throughput: full simulations per wall-clock second.
+
+        Thin view over :func:`repro.obs.stats.rate` — the same formula
+        the telemetry report derives from the ``oracle.evaluations`` /
+        ``oracle.search_seconds`` counters, which are folded from these
+        very fields.
+        """
+        return _stats.rate(self.evaluations, self.search_seconds)
 
 
 def iter_partitions(num_blocks: int, num_stages: int) -> Iterator[Tuple[int, ...]]:
@@ -237,7 +247,8 @@ class _SearchState:
 
     __slots__ = (
         "best_time", "best_sizes", "evaluations", "cache_hits",
-        "suffix_sims", "dominance_pruned", "bound", "shared",
+        "suffix_sims", "dominance_pruned", "incumbent_updates",
+        "bound", "shared",
     )
 
     def __init__(self, shared=None) -> None:
@@ -247,6 +258,7 @@ class _SearchState:
         self.cache_hits = 0
         self.suffix_sims = 0
         self.dominance_pruned = 0
+        self.incumbent_updates = 0
         self.shared = shared
         self.bound = shared.peek() if shared is not None else float("inf")
 
@@ -256,6 +268,7 @@ class _SearchState:
         ):
             self.best_time = t
             self.best_sizes = sizes
+            self.incumbent_updates += 1
         if self.best_time < self.bound:
             self.bound = self.best_time
 
@@ -354,10 +367,12 @@ def _search_robust(
     sizes_buf: List[Tuple[int, ...]] = []
     f_buf: List[Tuple[float, ...]] = []
     b_buf: List[Tuple[float, ...]] = []
+    tel = _obs.current()
 
     def flush() -> None:
         if not sizes_buf:
             return
+        t_f = tel.clock() if tel is not None else 0
         values = robust_objective_batch(
             np.asarray(f_buf), np.asarray(b_buf), comm,
             num_micro_batches, factors, robust.statistic,
@@ -366,6 +381,11 @@ def _search_robust(
         state.evaluations += len(sizes_buf)
         for sizes, v in zip(sizes_buf, values.tolist()):
             state.offer(sizes, v)
+        if tel is not None:
+            tel.record_since(
+                "oracle.chunk_flush", t_f,
+                rows=len(sizes_buf), draws=factors.draws,
+            )
         sizes_buf.clear()
         f_buf.clear()
         b_buf.clear()
@@ -475,10 +495,12 @@ def _search_pruned(
     buffer: List[Tuple[Tuple[int, ...], Tuple[float, ...], Tuple[float, ...]]] = []
     #: warm-start results, so the DFS re-encounter is not double-counted.
     warm: dict = {}
+    tel = _obs.current()
 
     def flush() -> None:
         if not buffer:
             return
+        t_f = tel.clock() if tel is not None else 0
         resolved: List[Optional[float]] = [None] * len(buffer)
         misses: List[int] = []
         for j, (sizes, f_stages, b_stages) in enumerate(buffer):
@@ -506,6 +528,11 @@ def _search_pruned(
                 resolved[j] = t
         for j, (sizes, _, _) in enumerate(buffer):
             state.offer(sizes, resolved[j])
+        if tel is not None:
+            tel.record_since(
+                "oracle.chunk_flush", t_f,
+                rows=len(buffer), misses=len(misses),
+            )
         buffer.clear()
         state.sync()
 
@@ -813,6 +840,7 @@ def _search_incremental(
     #: leaves awaiting evaluation: (sizes, per-stage fwd, per-stage bwd).
     buffer: List[Tuple[Tuple[int, ...], Tuple[float, ...], Tuple[float, ...]]] = []
     warm: dict = {}
+    tel = _obs.current()
 
     # Prefix-checkpoint chains at cut p-2, keyed by the checkpointed
     # stage-time prefix.  Chains build one stage at a time through
@@ -840,6 +868,8 @@ def _search_incremental(
     def flush() -> None:
         if not buffer:
             return
+        t_f = tel.clock() if tel is not None else 0
+        n_chained = 0
         resolved: List[Optional[float]] = [None] * len(buffer)
         misses: List[int] = []
         for j, (sizes, f_stages, b_stages) in enumerate(buffer):
@@ -875,6 +905,7 @@ def _search_incremental(
             for key, js in groups.items():
                 (chained if len(js) >= _CHAIN_MIN_GROUP else cold).extend(js)
             state.evaluations += len(misses)
+            n_chained = len(chained)
             if chained:
                 states = [get_chain(*key) for key in (
                     (buffer[j][1][:cut], buffer[j][2][:cut]) for j in chained
@@ -905,6 +936,11 @@ def _search_incremental(
             buffer[j][0] for j in range(len(buffer)) if resolved[j] == best_t
         )
         state.offer(best_sizes, best_t)
+        if tel is not None:
+            tel.record_since(
+                "oracle.chunk_flush", t_f, rows=len(buffer),
+                misses=len(misses), chained=n_chained,
+            )
         buffer.clear()
         state.sync()
 
@@ -1341,8 +1377,10 @@ def _search_analytic(
                     int(col_off[i]) + int(np.searchsorted(row, k))
                 )
 
+    tel = _obs.current()
     for c0 in range(0, total_cols, block):
         c1 = min(c0 + block, total_cols)
+        t_f = tel.clock() if tel is not None else 0
         cur = state.bound * prune_slack
         # The mid-sweep sieve's per-checkpoint scan only pays for itself
         # on wide blocks; narrow ones run the plain (exact) sweep.
@@ -1378,6 +1416,11 @@ def _search_analytic(
                     evals -= 1
             state.offer(best, float(tmin))
         state.evaluations += evals
+        if tel is not None:
+            tel.record_since(
+                "oracle.kernel_sweep", t_f,
+                cols=c1 - c0, kept=int(times.size),
+            )
         state.sync()
 
 
@@ -1402,6 +1445,8 @@ def _evaluate_seeds(
     ``preset_warm``.
     """
     n = len(fwd)
+    tel = _obs.current()
+    t_s = tel.clock() if tel is not None else 0
     weights = [f + b for f, b in zip(fwd, bwd)]
     seeds: List[Tuple[int, ...]] = [tuple(min_max_partition(weights, num_stages))]
     for extra in extra_seeds:
@@ -1426,6 +1471,8 @@ def _evaluate_seeds(
             state.evaluations += 1
         warm[seed] = sim.iteration_time
         state.offer(seed, sim.iteration_time)
+    if tel is not None:
+        tel.record_since("oracle.warm_seeds", t_s, seeds=len(seeds))
     return warm
 
 
@@ -1446,6 +1493,7 @@ def exhaustive_partition(
     scorer: str = "analytic",
     jobs: Optional[int] = None,
     cache=None,
+    telemetry=None,
 ) -> ExhaustiveResult:
     """Find the optimal partition over every contiguous candidate.
 
@@ -1519,7 +1567,100 @@ def exhaustive_partition(
     original search statistics — without running any simulation; the
     key covers the full profile content and every search knob except
     ``jobs``/``sim_cache``, which cannot change the result.
+
+    ``telemetry`` selects the :mod:`repro.obs` registry this call
+    records spans/counters into: ``None`` uses the process-wide registry
+    (no-op when none is installed), ``False`` forces telemetry off for
+    this call, a :class:`~repro.obs.Telemetry` records into it, and a
+    path writes a full sink directory (events.jsonl / counters.json /
+    trace.json / summary.txt) when the call completes — with per-worker
+    trace lanes when ``jobs > 1``.  Telemetry only reads clocks and
+    counters: the returned partition, iteration time and every tie-break
+    are bit-identical with it on or off (property-tested), and with no
+    registry installed the instrumentation is a no-op costing <2% on the
+    depth-8 oracle bench (guarded in
+    ``benchmarks/test_bench_telemetry.py``).
     """
+    tel, sink_dir = _obs.resolve_telemetry(telemetry)
+    if tel is None:
+        if telemetry is False and _obs.active():
+            with _obs.disabled():
+                return _exhaustive_impl(
+                    profile, num_stages, num_micro_batches,
+                    comm_mode=comm_mode, max_evaluations=max_evaluations,
+                    prune=prune, incremental=incremental,
+                    planner_warm_start=planner_warm_start,
+                    sim_cache=sim_cache, chunk_size=chunk_size,
+                    prune_slack=prune_slack, robust=robust, scorer=scorer,
+                    jobs=jobs, cache=cache,
+                )
+        return _exhaustive_impl(
+            profile, num_stages, num_micro_batches, comm_mode=comm_mode,
+            max_evaluations=max_evaluations, prune=prune,
+            incremental=incremental, planner_warm_start=planner_warm_start,
+            sim_cache=sim_cache, chunk_size=chunk_size,
+            prune_slack=prune_slack, robust=robust, scorer=scorer,
+            jobs=jobs, cache=cache,
+        )
+    if robust is not None:
+        mode = "robust"
+    elif prune and incremental and scorer == "analytic":
+        mode = "analytic"
+    elif prune and incremental:
+        mode = "incremental"
+    elif prune:
+        mode = "pruned"
+    else:
+        mode = "brute"
+    with _obs.session(tel):
+        t0 = tel.clock()
+        result = _exhaustive_impl(
+            profile, num_stages, num_micro_batches, comm_mode=comm_mode,
+            max_evaluations=max_evaluations, prune=prune,
+            incremental=incremental, planner_warm_start=planner_warm_start,
+            sim_cache=sim_cache, chunk_size=chunk_size,
+            prune_slack=prune_slack, robust=robust, scorer=scorer,
+            jobs=jobs, cache=cache,
+        )
+        tel.record_since(
+            "oracle.search", t0, mode=mode, depth=num_stages,
+            m=num_micro_batches, space=result.space, jobs=result.jobs,
+        )
+        # Counters fold from the result's own fields, so the registry
+        # and the ExhaustiveResult can never disagree.
+        tel.add("oracle.searches", 1)
+        tel.add("oracle.evaluations", result.evaluations)
+        tel.add("oracle.search_seconds", result.search_seconds)
+        tel.add("oracle.space", result.space)
+        tel.add("oracle.cache_hits", result.cache_hits)
+        tel.add("oracle.suffix_sims", result.suffix_sims)
+        tel.add("oracle.dominance_pruned", result.dominance_pruned)
+        tel.add("oracle.pruned", result.pruned)
+        tel.add("oracle.incumbent_updates", result.incumbent_updates)
+    if sink_dir is not None:
+        tel.write(sink_dir)
+    return result
+
+
+def _exhaustive_impl(
+    profile: ModelProfile,
+    num_stages: int,
+    num_micro_batches: int,
+    *,
+    comm_mode: str,
+    max_evaluations: Optional[int],
+    prune: bool,
+    incremental: bool,
+    planner_warm_start: Optional[bool],
+    sim_cache: Optional[SimCache],
+    chunk_size: int,
+    prune_slack: float,
+    robust: Optional[RobustObjective],
+    scorer: str,
+    jobs: Optional[int],
+    cache,
+) -> ExhaustiveResult:
+    """The oracle search body; ``exhaustive_partition`` wraps it."""
     n = profile.num_blocks
     space = count_partitions(n, num_stages)
     if max_evaluations is not None and space > max_evaluations:
@@ -1562,7 +1703,9 @@ def exhaustive_partition(
         )
         stored = plan_cache.load(cache_key, expect=ExhaustiveResult)
         if stored is not None:
+            _obs.add("oracle.plan_cache.hits")
             return stored
+        _obs.add("oracle.plan_cache.misses")
 
     t0 = _time.perf_counter()
     fwd = profile.fwd_times()
@@ -1586,10 +1729,11 @@ def exhaustive_partition(
             planner_warm_start = space >= _WARM_START_MIN_SPACE
         if planner_warm_start and num_stages > 1:
             try:
-                heur = plan_partition(
-                    profile, num_stages, num_micro_batches,
-                    comm_mode=comm_mode, sim_cache=sim_cache,
-                )
+                with _obs.span("oracle.planner_warm_start", depth=num_stages):
+                    heur = plan_partition(
+                        profile, num_stages, num_micro_batches,
+                        comm_mode=comm_mode, sim_cache=sim_cache,
+                    )
                 extra_seeds.append(
                     tuple(len(stage) for stage in heur.partition.stages)
                 )
@@ -1675,6 +1819,7 @@ def exhaustive_partition(
         jobs=used_jobs if ran_parallel else 1,
         requested_jobs=requested_jobs,
         worker_subtrees=worker_subtrees,
+        incumbent_updates=state.incumbent_updates,
     )
     if plan_cache is not None and cache_key is not None:
         plan_cache.store(cache_key, result)

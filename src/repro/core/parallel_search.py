@@ -53,12 +53,15 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analytic_sim import PipelineSim, SimResult
 from repro.core.partition import StageTimes
+from repro.obs import telemetry as _obs
 
 
 class ParallelUnavailable(RuntimeError):
@@ -121,35 +124,55 @@ def _run_shard(first_size: int) -> dict:
     state = ex._SearchState(shared=shared)
     first = frozenset((first_size,))
     mode = payload["mode"]
-    common = (
-        payload["fwd"], payload["bwd"], payload["comm"],
-        payload["num_stages"], payload["num_micro_batches"],
-        payload["comm_mode"],
-    )
-    if mode == "analytic":
-        ex._search_analytic(
-            *common, None, state, payload["chunk_size"],
-            payload["prune_slack"], (), first, payload["warm"],
+    # Telemetry rides the payload as a directory path: workers record
+    # into a private registry and append their spans to a pid-named
+    # event file beside the shared incumbent; the parent merges those
+    # files into per-worker trace lanes after the pool drains.  The
+    # search itself never observes the registry (it only reads clocks),
+    # so shard results are bit-identical with telemetry on or off.
+    tel_dir = payload.get("telemetry_dir")
+    tel = _obs.Telemetry(f"worker {os.getpid()}") if tel_dir else None
+
+    def search() -> None:
+        common = (
+            payload["fwd"], payload["bwd"], payload["comm"],
+            payload["num_stages"], payload["num_micro_batches"],
+            payload["comm_mode"],
         )
-    elif mode == "incremental":
-        ex._search_incremental(
-            *common, None, state, payload["chunk_size"],
-            payload["prune_slack"], (), first, payload["warm"],
+        if mode == "analytic":
+            ex._search_analytic(
+                *common, None, state, payload["chunk_size"],
+                payload["prune_slack"], (), first, payload["warm"],
+            )
+        elif mode == "incremental":
+            ex._search_incremental(
+                *common, None, state, payload["chunk_size"],
+                payload["prune_slack"], (), first, payload["warm"],
+            )
+        elif mode == "pruned":
+            ex._search_pruned(
+                *common, None, state, payload["chunk_size"],
+                payload["prune_slack"], first, payload["warm"],
+            )
+        elif mode == "robust":
+            ex._search_robust(
+                *common[:6], state, payload["chunk_size"],
+                payload["robust"], first,
+            )
+        elif mode == "brute":
+            ex._search_brute(*common, None, state, first)
+        else:  # pragma: no cover - driver passes a fixed mode set
+            raise ValueError(f"unknown search mode {mode!r}")
+
+    if tel is not None:
+        with _obs.session(tel):
+            with tel.span("oracle.shard", first_size=first_size, mode=mode):
+                search()
+        tel.append_events(
+            os.path.join(tel_dir, f"events-{os.getpid()}.jsonl")
         )
-    elif mode == "pruned":
-        ex._search_pruned(
-            *common, None, state, payload["chunk_size"],
-            payload["prune_slack"], first, payload["warm"],
-        )
-    elif mode == "robust":
-        ex._search_robust(
-            *common[:6], state, payload["chunk_size"],
-            payload["robust"], first,
-        )
-    elif mode == "brute":
-        ex._search_brute(*common, None, state, first)
-    else:  # pragma: no cover - driver passes a fixed mode set
-        raise ValueError(f"unknown search mode {mode!r}")
+    else:
+        search()
     state.sync()
     return {
         "first_size": first_size,
@@ -158,6 +181,7 @@ def _run_shard(first_size: int) -> dict:
         "evaluations": state.evaluations,
         "suffix_sims": state.suffix_sims,
         "dominance_pruned": state.dominance_pruned,
+        "incumbent_updates": state.incumbent_updates,
         "pid": os.getpid(),
     }
 
@@ -195,6 +219,10 @@ def run_parallel_search(
             f"cannot cut {n} blocks into {num_stages} stages"
         )
     jobs = max(1, min(jobs, len(first_sizes)))
+    tel = _obs.current()
+    tel_dir: Optional[str] = None
+    if tel is not None:
+        tel_dir = tempfile.mkdtemp(prefix="repro-obs-")
     payload = {
         "fwd": tuple(fwd),
         "bwd": tuple(bwd),
@@ -207,11 +235,13 @@ def run_parallel_search(
         "prune_slack": prune_slack,
         "warm": dict(warm) if warm else None,
         "robust": robust,
+        "telemetry_dir": tel_dir,
     }
     bound = SharedBound()
     if state.best_time < float("inf"):
         bound.publish(state.best_time)
     per_pid: Dict[int, int] = {}
+    t_d = tel.clock() if tel is not None else 0
     try:
         with ProcessPoolExecutor(
             max_workers=jobs,
@@ -228,11 +258,21 @@ def run_parallel_search(
                 state.evaluations += shard["evaluations"]
                 state.suffix_sims += shard["suffix_sims"]
                 state.dominance_pruned += shard["dominance_pruned"]
+                state.incumbent_updates += shard["incumbent_updates"]
                 per_pid[shard["pid"]] = per_pid.get(shard["pid"], 0) + 1
     except (OSError, PermissionError, BrokenProcessPool) as exc:
+        if tel_dir is not None:
+            shutil.rmtree(tel_dir, ignore_errors=True)
         raise ParallelUnavailable(
             f"worker pool unavailable ({exc!r}); run the serial search"
         ) from exc
+    if tel is not None and tel_dir is not None:
+        tel.record_since(
+            "oracle.parallel_dispatch", t_d,
+            jobs=len(per_pid), shards=len(first_sizes), mode=mode,
+        )
+        tel.merge_worker_dir(tel_dir)
+        shutil.rmtree(tel_dir, ignore_errors=True)
     return len(per_pid), tuple(sorted(per_pid.values(), reverse=True))
 
 

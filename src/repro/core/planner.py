@@ -34,6 +34,8 @@ from repro.core.analytic_sim import PipelineSim, PrefixState, SimResult
 from repro.core.balance_dp import BalanceTable
 from repro.core.partition import PartitionScheme, StageTimes
 from repro.models.transformer import layer_groups
+from repro.obs import stats as _stats
+from repro.obs import telemetry as _obs
 from repro.profiling.modelconfig import ModelProfile
 from repro.robustness.evaluate import RobustObjective, robust_objective_value
 
@@ -87,9 +89,14 @@ class SimCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the memo (0.0 when untouched)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from the memo (0.0 when untouched).
+
+        Thin view over :func:`repro.obs.stats.hit_rate` — the same
+        formula the telemetry report derives from the
+        ``*.sim_cache.hits``/``.misses`` counters, so the two surfaces
+        cannot disagree.
+        """
+        return _stats.hit_rate(self.hits, self.misses)
 
     def peek(
         self,
@@ -182,6 +189,9 @@ class PlannerResult:
     robust_value: Optional[float] = None
     #: worker processes candidate waves ran on (1 = in-process serial).
     jobs: int = 1
+    #: times the best-so-far scheme was replaced during the search
+    #: (folds into the ``planner.incumbent_updates`` telemetry counter).
+    incumbent_updates: int = 0
 
     @property
     def iteration_time(self) -> float:
@@ -189,10 +199,14 @@ class PlannerResult:
 
     @property
     def sims_per_second(self) -> float:
-        """Search throughput: schemes evaluated per wall-clock second."""
-        if self.search_seconds <= 0:
-            return 0.0
-        return self.evaluations / self.search_seconds
+        """Search throughput: schemes evaluated per wall-clock second.
+
+        Thin view over :func:`repro.obs.stats.rate` — the same formula
+        the telemetry report derives from the ``planner.evaluations`` /
+        ``planner.search_seconds`` counters, which are folded from these
+        very fields.
+        """
+        return _stats.rate(self.evaluations, self.search_seconds)
 
 
 class _UnitSpace:
@@ -392,6 +406,7 @@ def plan_partition(
     robust: Optional[RobustObjective] = None,
     jobs: Optional[int] = None,
     cache=None,
+    telemetry=None,
 ) -> PlannerResult:
     """Run the AutoPipe Planner and return the best partition found.
 
@@ -444,7 +459,80 @@ def plan_partition(
     for one call): a warm hit replays the stored plan without running
     any simulation; the key covers the profile content and every search
     knob except ``jobs``/``sim_cache``, which cannot change the result.
+    ``telemetry`` selects the :mod:`repro.obs` registry this call records
+    spans/counters into: ``None`` uses the process-wide registry (no-op
+    when none is installed), ``False`` forces telemetry off for this
+    call, a :class:`~repro.obs.Telemetry` records into it, and a path
+    writes a full sink directory (events.jsonl / counters.json /
+    trace.json / summary.txt) when the call completes.  Telemetry only
+    reads clocks and counters — the returned plan, evaluation count and
+    history are bit-identical with it on or off (property-tested).
     """
+    tel, sink_dir = _obs.resolve_telemetry(telemetry)
+    if tel is None:
+        if telemetry is False and _obs.active():
+            with _obs.disabled():
+                return _plan_impl(
+                    profile, num_stages, num_micro_batches,
+                    granularity=granularity, comm_mode=comm_mode,
+                    cooldown_adjust=cooldown_adjust,
+                    max_evaluations=max_evaluations,
+                    keep_history=keep_history,
+                    memory_cap=memory_cap, sim_cache=sim_cache,
+                    incremental=incremental, robust=robust, jobs=jobs,
+                    cache=cache,
+                )
+        return _plan_impl(
+            profile, num_stages, num_micro_batches,
+            granularity=granularity, comm_mode=comm_mode,
+            cooldown_adjust=cooldown_adjust,
+            max_evaluations=max_evaluations, keep_history=keep_history,
+            memory_cap=memory_cap, sim_cache=sim_cache,
+            incremental=incremental, robust=robust, jobs=jobs, cache=cache,
+        )
+    with _obs.session(tel):
+        t0 = tel.clock()
+        result = _plan_impl(
+            profile, num_stages, num_micro_batches,
+            granularity=granularity, comm_mode=comm_mode,
+            cooldown_adjust=cooldown_adjust,
+            max_evaluations=max_evaluations, keep_history=keep_history,
+            memory_cap=memory_cap, sim_cache=sim_cache,
+            incremental=incremental, robust=robust, jobs=jobs, cache=cache,
+        )
+        tel.record_since(
+            "planner.plan", t0, depth=num_stages, m=num_micro_batches,
+            granularity=granularity,
+        )
+        # Counters fold from the result's own fields, so the registry
+        # and the PlannerResult can never disagree.
+        tel.add("planner.plans", 1)
+        tel.add("planner.evaluations", result.evaluations)
+        tel.add("planner.search_seconds", result.search_seconds)
+        tel.add("planner.incumbent_updates", result.incumbent_updates)
+    if sink_dir is not None:
+        tel.write(sink_dir)
+    return result
+
+
+def _plan_impl(
+    profile: ModelProfile,
+    num_stages: int,
+    num_micro_batches: int,
+    *,
+    granularity: str,
+    comm_mode: str,
+    cooldown_adjust: bool,
+    max_evaluations: int,
+    keep_history: bool,
+    memory_cap: Optional[float],
+    sim_cache: Optional[SimCache],
+    incremental: bool,
+    robust: Optional[RobustObjective],
+    jobs: Optional[int],
+    cache,
+) -> PlannerResult:
+    """The planner search body; ``plan_partition`` wraps it in telemetry."""
     from repro.core.parallel_search import CandidatePool, resolve_plan_jobs
     from repro.core.plan_cache import resolve_plan_cache
 
@@ -462,8 +550,13 @@ def plan_partition(
         )
         stored = plan_store.load(store_key, expect=PlannerResult)
         if stored is not None:
+            _obs.add("planner.plan_cache.hits")
             return stored
+        _obs.add("planner.plan_cache.misses")
 
+    tel = _obs.current()
+    sim_hits0 = sim_cache.hits if sim_cache is not None else 0
+    sim_misses0 = sim_cache.misses if sim_cache is not None else 0
     t0 = _time.perf_counter()
     space = _UnitSpace(profile, granularity)
     if num_stages > space.num_units:
@@ -568,13 +661,16 @@ def plan_partition(
             robust_vals[sizes] = val
         return val
 
+    incumbent_updates = 0
+
     def consider(sizes: Sizes, sim: SimResult) -> None:
-        nonlocal best_sizes, best_sim, best_value
+        nonlocal best_sizes, best_sim, best_value, incumbent_updates
         if not fits(sizes):
             return
         value = objective(sizes, sim)
         if best_value is None or value < best_value:
             best_sizes, best_sim, best_value = sizes, sim, value
+            incumbent_updates += 1
 
     pool = CandidatePool(jobs) if jobs > 1 else None
 
@@ -616,7 +712,12 @@ def plan_partition(
             if keep_history:
                 history.append((cand, sim.iteration_time))
 
-    seed_sim = evaluate(seed)
+    if tel is not None:
+        t_seed = tel.clock()
+        seed_sim = evaluate(seed)
+        tel.record_since("planner.seed", t_seed, depth=num_stages)
+    else:
+        seed_sim = evaluate(seed)
     consider(seed, seed_sim)
 
     queue: Deque[Sizes] = deque([seed])
@@ -632,41 +733,50 @@ def plan_partition(
             consider(repaired, evaluate(repaired))
             queue.append(repaired)
             enqueued.add(repaired)
+    def expand(sizes: Sizes) -> None:
+        """One master-shift expansion (the former loop body, verbatim)."""
+        sim = evaluate(sizes)
+        master = sim.master_stage
+
+        if cooldown_adjust:
+            adjusted = _cooldown_adjust(sizes, master, space)
+            if adjusted != sizes:
+                adj_sim = evaluate(adjusted)
+                consider(adjusted, adj_sim)
+                # Paper: proceed to step 3 with the adjusted scheme
+                # either way.
+                sizes, sim = adjusted, adj_sim
+                master = sim.master_stage
+
+        consider(sizes, sim)
+        if master == 0:
+            return
+        if incremental:
+            # This scheme is about to spawn shift children that share
+            # its stage-time prefix up to the master; checkpoint the
+            # chain once so their evaluations resume instead of
+            # starting cold.
+            checkpoint(space.stage_times(sizes))
+        cands = _shift_candidates(sizes, master, space)
+        prefetch(cands)
+        for cand in cands:
+            if cand in enqueued:
+                continue
+            cand_sim = evaluate(cand)
+            consider(cand, cand_sim)
+            if cand_sim.master_stage <= master:
+                queue.append(cand)
+                enqueued.add(cand)
+
     try:
         while queue and len(scheme_cache) < max_evaluations:
             sizes = queue.popleft()
-            sim = evaluate(sizes)
-            master = sim.master_stage
-
-            if cooldown_adjust:
-                adjusted = _cooldown_adjust(sizes, master, space)
-                if adjusted != sizes:
-                    adj_sim = evaluate(adjusted)
-                    consider(adjusted, adj_sim)
-                    # Paper: proceed to step 3 with the adjusted scheme
-                    # either way.
-                    sizes, sim = adjusted, adj_sim
-                    master = sim.master_stage
-
-            consider(sizes, sim)
-            if master == 0:
-                continue
-            if incremental:
-                # This scheme is about to spawn shift children that share
-                # its stage-time prefix up to the master; checkpoint the
-                # chain once so their evaluations resume instead of
-                # starting cold.
-                checkpoint(space.stage_times(sizes))
-            cands = _shift_candidates(sizes, master, space)
-            prefetch(cands)
-            for cand in cands:
-                if cand in enqueued:
-                    continue
-                cand_sim = evaluate(cand)
-                consider(cand, cand_sim)
-                if cand_sim.master_stage <= master:
-                    queue.append(cand)
-                    enqueued.add(cand)
+            if tel is not None:
+                t_it = tel.clock()
+                expand(sizes)
+                tel.record_since("planner.expand", t_it)
+            else:
+                expand(sizes)
     finally:
         if pool is not None:
             pool.close()
@@ -677,6 +787,9 @@ def plan_partition(
             f"memory cap at depth {num_stages}"
         )
     elapsed = _time.perf_counter() - t0
+    if tel is not None and sim_cache is not None:
+        tel.add("planner.sim_cache.hits", sim_cache.hits - sim_hits0)
+        tel.add("planner.sim_cache.misses", sim_cache.misses - sim_misses0)
     result = PlannerResult(
         partition=space.to_partition(best_sizes),
         sim=best_sim,
@@ -686,6 +799,7 @@ def plan_partition(
         history=tuple(history),
         robust_value=best_value if factors is not None else None,
         jobs=jobs if pool is not None and pool.active else 1,
+        incumbent_updates=incumbent_updates,
     )
     if plan_store is not None and store_key is not None:
         plan_store.store(store_key, result)

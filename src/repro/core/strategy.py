@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 from repro.baselines.common import PlannedConfig, config_memory
 from repro.core.balance_dp import BalanceTable
+from repro.obs import telemetry as _obs
 from repro.core.partition import PartitionScheme
 from repro.core.planner import SimCache, default_sim_cache, plan_partition
 from repro.profiling.modelconfig import ModelProfile
@@ -116,6 +117,8 @@ def autopipe_config(
     """
     if sim_cache is None:
         sim_cache = default_sim_cache()
+    tel = _obs.current()
+    t_obs = tel.clock() if tel is not None else 0
     t0 = _time.perf_counter()
     mbs = profile.train.micro_batch_size
     if global_batch_size % mbs != 0:
@@ -166,6 +169,11 @@ def autopipe_config(
             except RuntimeError:
                 partition = repaired_seed
                 predicted = profile.total_time() * m
+        if tel is not None:
+            tel.record_since(
+                "strategy.autopipe_config", t_obs,
+                gpus=num_gpus, dp=dp, pp=pp,
+            )
         return PlannedConfig(
             planner="autopipe",
             partition=partition,
@@ -286,6 +294,8 @@ def autotune_config(
     from repro.runtime.trainer import run_pipeline
     from repro.sim.slice_eval import evaluate_slice_counts
 
+    tel = _obs.current()
+    t_obs = tel.clock() if tel is not None else 0
     t0 = _time.perf_counter()
     cluster = Cluster(profile.hardware)
     if sim_cache is None:
@@ -319,6 +329,7 @@ def autotune_config(
             continue
 
         # -- partition search ------------------------------------------
+        t_plan = tel.clock() if tel is not None else 0
         plan_t0 = _time.perf_counter()
         partition: Optional[PartitionScheme] = None
         planner_name = ""
@@ -366,6 +377,12 @@ def autotune_config(
                 partition = repaired
                 planner_name = planner_name or "repair"
         plan_seconds = _time.perf_counter() - plan_t0
+        if tel is not None:
+            tel.record_since(
+                "autotune.partition_search", t_plan,
+                pp=pp, dp=dp, planner=planner_name,
+            )
+            t_slices = tel.clock()
 
         # -- slice-count sweep on the executed schedule ----------------
         from repro.core.partition import stage_times as _stage_times_of
@@ -405,6 +422,11 @@ def autotune_config(
                 plan_seconds=plan_seconds,
                 plan_jobs=plan_jobs,
             ))
+        if tel is not None:
+            tel.record_since(
+                "autotune.slice_sweep", t_slices,
+                pp=pp, counts=len(slice_counts),
+            )
 
     feasible = [c for c in candidates if c.ok]
     if not feasible:
@@ -418,9 +440,18 @@ def autotune_config(
             c.iteration_seconds, c.layout.pipeline_stages, c.slice_count,
         ),
     )
-    return AutotuneResult(
+    result = AutotuneResult(
         best=best,
         candidates=tuple(candidates),
         search_seconds=_time.perf_counter() - t0,
         num_gpus=num_gpus,
     )
+    if tel is not None:
+        tel.record_since(
+            "autotune.search", t_obs,
+            gpus=num_gpus, layouts=result.layouts_searched,
+            candidates=len(candidates),
+        )
+        tel.add("autotune.layouts", result.layouts_searched)
+        tel.add("autotune.candidates", len(candidates))
+    return result

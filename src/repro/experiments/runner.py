@@ -57,6 +57,8 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.obs import telemetry as _obs
+
 #: bump to invalidate every on-disk entry (cache layout changes).
 _SCHEMA = "1"
 
@@ -79,12 +81,47 @@ def cell_seed(fn: Callable, cell: Tuple) -> int:
 
 
 def _seeded_call(fn: Callable, cell: Tuple, seed: int):
-    """Run one cell with the global RNGs seeded (pool-worker entry point)."""
+    """Run one cell with the global RNGs seeded (inline entry point)."""
     random.seed(seed)
     import numpy as np
 
     np.random.seed(seed % 2**32)
     return fn(*cell)
+
+
+def _seeded_call_stats(fn: Callable, cell: Tuple, seed: int):
+    """Pool-worker entry point: the cell's value plus worker-side stats.
+
+    A pool worker's process-wide :class:`~repro.core.planner.SimCache`
+    is invisible to the parent, so its hit/miss deltas travel back
+    through the pool result; the wall-clock start and duration let the
+    parent place the cell on the worker's trace lane.
+    """
+    import time
+
+    from repro.core.planner import default_sim_cache
+
+    cache = default_sim_cache()
+    hits0, misses0 = cache.hits, cache.misses
+    ts_ns = time.time_ns()
+    t0 = time.perf_counter_ns()
+    value = _seeded_call(fn, cell, seed)
+    return value, {
+        "pid": os.getpid(),
+        "ts_ns": ts_ns,
+        "dur_ns": time.perf_counter_ns() - t0,
+        "sim_hits": cache.hits - hits0,
+        "sim_misses": cache.misses - misses0,
+    }
+
+
+def _pool_lane(tel, pid: int) -> int:
+    """The trace lane for one pool worker, reused across ``run()`` calls."""
+    label = f"sweep worker {pid}"
+    for lane, name in tel.lanes.items():
+        if name == label:
+            return lane
+    return tel.add_lane(label)
 
 
 class SweepRunner:
@@ -104,6 +141,10 @@ class SweepRunner:
         self.salt = salt
         self.cache_hits = 0
         self.cache_misses = 0
+        #: simulation-memo deltas reported back by pool workers; without
+        #: these a ``jobs > 1`` sweep would count only the parent's share.
+        self.pool_sim_hits = 0
+        self.pool_sim_misses = 0
         self._source_hashes: dict = {}
 
     # -- cache keys --------------------------------------------------------
@@ -194,6 +235,9 @@ class SweepRunner:
         Cached cells are served from disk; the rest run on the process
         pool (``jobs > 1``) or inline, and are written back to the cache.
         """
+        tel = _obs.current()
+        t0 = tel.clock() if tel is not None else 0
+        hits0, misses0 = self.cache_hits, self.cache_misses
         cells = [tuple(c) for c in cells]
         results: List = [None] * len(cells)
         pending: List[int] = []
@@ -217,32 +261,54 @@ class SweepRunner:
                 results[i] = value
                 if keys[i] is not None:
                     self._store(keys[i], value)
+        if tel is not None:
+            tel.record_since(
+                "sweep.run", t0, cells=len(cells), executed=len(pending),
+            )
+            tel.add("sweep.cell_cache.hits", self.cache_hits - hits0)
+            tel.add("sweep.cell_cache.misses", self.cache_misses - misses0)
         return results
 
     def sim_stats(self) -> dict:
         """Sweep-level cache statistics: disk cells + simulation memo.
 
-        Reads the process-wide :class:`~repro.core.planner.SimCache`, so
-        the simulation numbers cover every inline cell evaluated since
-        the memo was last cleared (pool workers keep their own memo — a
-        ``jobs > 1`` sweep reports only the parent's share).
+        Combines the parent's process-wide
+        :class:`~repro.core.planner.SimCache` with the deltas pool
+        workers report back through their results
+        (``pool_sim_hits``/``pool_sim_misses``), so a ``jobs > 1`` sweep
+        counts every simulation — workers keep their own memo, which
+        used to silently drop out of this aggregate.  The hit rate goes
+        through :func:`repro.obs.stats.hit_rate`, the same formula the
+        telemetry report derives it with.
         """
         from repro.core.planner import default_sim_cache
+        from repro.obs.stats import hit_rate
 
         cache = default_sim_cache()
+        sim_hits = cache.hits + self.pool_sim_hits
+        sim_misses = cache.misses + self.pool_sim_misses
         return {
             "cell_cache_hits": self.cache_hits,
             "cell_cache_misses": self.cache_misses,
-            "sim_cache_hits": cache.hits,
-            "sim_cache_misses": cache.misses,
-            "sim_cache_hit_rate": cache.hit_rate,
+            "sim_cache_hits": sim_hits,
+            "sim_cache_misses": sim_misses,
+            "sim_cache_hit_rate": hit_rate(sim_hits, sim_misses),
         }
+
+    def _inline_cell(self, fn: Callable, cell: Tuple, seed: int):
+        tel = _obs.current()
+        if tel is None:
+            return _seeded_call(fn, cell, seed)
+        t0 = tel.clock()
+        value = _seeded_call(fn, cell, seed)
+        tel.record_since("sweep.cell", t0, cell=repr(cell)[:80])
+        return value
 
     def _execute(self, fn: Callable, cells: List[Tuple]) -> List:
         seeds = [cell_seed(fn, cell) for cell in cells]
         if self.jobs == 1 or len(cells) <= 1:
             return [
-                _seeded_call(fn, cell, seed)
+                self._inline_cell(fn, cell, seed)
                 for cell, seed in zip(cells, seeds)
             ]
         try:
@@ -250,17 +316,32 @@ class SweepRunner:
                 max_workers=min(self.jobs, len(cells))
             ) as pool:
                 futures = [
-                    pool.submit(_seeded_call, fn, cell, seed)
+                    pool.submit(_seeded_call_stats, fn, cell, seed)
                     for cell, seed in zip(cells, seeds)
                 ]
-                return [f.result() for f in futures]
+                pairs = [f.result() for f in futures]
         except (OSError, PermissionError):
             # Sandboxes without process/semaphore support fall back to
             # inline execution rather than failing the sweep.
             return [
-                _seeded_call(fn, cell, seed)
+                self._inline_cell(fn, cell, seed)
                 for cell, seed in zip(cells, seeds)
             ]
+        tel = _obs.current()
+        values: List = []
+        for (value, stats), cell in zip(pairs, cells):
+            values.append(value)
+            self.pool_sim_hits += stats["sim_hits"]
+            self.pool_sim_misses += stats["sim_misses"]
+            if tel is not None:
+                tel.record_abs(
+                    "sweep.cell", stats["ts_ns"], stats["dur_ns"],
+                    lane=_pool_lane(tel, stats["pid"]),
+                    attrs={"cell": repr(cell)[:80], "pid": stats["pid"]},
+                )
+                tel.add("sweep.pool_sim_cache.hits", stats["sim_hits"])
+                tel.add("sweep.pool_sim_cache.misses", stats["sim_misses"])
+        return values
 
 
 #: process-wide runner used when experiment entry points get none;

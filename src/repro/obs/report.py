@@ -1,0 +1,145 @@
+"""Load telemetry run directories and render the terminal summary.
+
+The summary table is computed from the same event list and counter
+registry the sinks persist, and every derived number (hit rates,
+sims/sec) goes through :mod:`repro.obs.stats` — the same formulas the
+result objects use — so ``repro telemetry report`` can never disagree
+with a ``PlannerResult``/``ExhaustiveResult`` of the same run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.obs.stats import hit_rate, rate
+from repro.obs.telemetry import Event
+
+#: (count counter, seconds counter, derived label) — rendered as rates.
+_RATES = (
+    ("oracle.evaluations", "oracle.search_seconds", "oracle.sims_per_second"),
+    ("planner.evaluations", "planner.search_seconds",
+     "planner.sims_per_second"),
+)
+
+
+def load_run(directory: Union[str, Path]) -> Tuple[
+    List[Event], Dict[str, float], Dict[int, str]
+]:
+    """Read ``(events, counters, lanes)`` back from a telemetry directory."""
+    directory = Path(directory)
+    events: List[Event] = []
+    with open(directory / "events.jsonl") as fh:
+        for line in fh:
+            rec = json.loads(line)
+            if "meta" in rec:
+                continue
+            events.append((
+                rec["name"], rec["ts"], rec["dur"], rec.get("lane", 0),
+                rec.get("attrs"),
+            ))
+    payload = json.loads((directory / "counters.json").read_text())
+    counters = payload.get("counters", {})
+    lanes = {int(k): v for k, v in payload.get("lanes", {}).items()}
+    return events, counters, lanes
+
+
+def span_self_times(events: List[Event]) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans: count, total ns and self ns (total minus children).
+
+    Spans on one lane nest properly (they come from ``with``-scoped or
+    ``clock()``/``record_since`` pairs in a single thread), so a per-lane
+    sweep sorted by ``(start, -duration)`` reconstructs the nesting: a
+    span's children are the later-starting spans it encloses.
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+    by_lane: Dict[int, List[Tuple[int, int, str]]] = {}
+    for name, ts, dur, lane, _attrs in events:
+        by_lane.setdefault(lane, []).append((ts, -dur, name))
+
+    def close(entry: List[Any]) -> None:
+        name, dur, child = entry[0], entry[1], entry[2]
+        agg = stats.setdefault(name, {"count": 0, "total_ns": 0, "self_ns": 0})
+        agg["count"] += 1
+        agg["total_ns"] += dur
+        agg["self_ns"] += max(dur - child, 0)
+
+    for lane_events in by_lane.values():
+        lane_events.sort()
+        stack: List[List[Any]] = []  # [name, dur, child_ns, end]
+        for ts, neg_dur, name in lane_events:
+            dur = -neg_dur
+            while stack and stack[-1][3] <= ts:
+                close(stack.pop())
+            if stack:
+                stack[-1][2] += dur
+            stack.append([name, dur, 0, ts + dur])
+        while stack:
+            close(stack.pop())
+    return stats
+
+
+def derived_stats(counters: Dict[str, float]) -> Dict[str, float]:
+    """Hit rates and rates computed from counter pairs via obs.stats."""
+    out: Dict[str, float] = {}
+    for name in sorted(counters):
+        if name.endswith(".hits"):
+            prefix = name[: -len(".hits")]
+            misses = counters.get(prefix + ".misses")
+            if misses is not None:
+                out[prefix + ".hit_rate"] = hit_rate(counters[name], misses)
+    for count_name, seconds_name, label in _RATES:
+        if count_name in counters and seconds_name in counters:
+            out[label] = rate(counters[count_name], counters[seconds_name])
+    return out
+
+
+def render_summary(
+    events: List[Event],
+    counters: Dict[str, float],
+    lanes: Dict[int, str],
+    *,
+    top: int = 12,
+) -> str:
+    """The terminal summary: top spans by self-time, counters, derived."""
+    lines: List[str] = []
+    spans = span_self_times(events)
+    ranked = sorted(
+        spans.items(), key=lambda kv: kv[1]["self_ns"], reverse=True
+    )[:top]
+    lines.append(f"telemetry summary — {len(events)} events, "
+                 f"{len(lanes)} lane(s): "
+                 + ", ".join(lanes[k] for k in sorted(lanes)))
+    if ranked:
+        name_w = max(len("span"), max(len(n) for n, _ in ranked))
+        lines.append(f"{'span':<{name_w}}  {'count':>8}  "
+                     f"{'total':>10}  {'self':>10}")
+        for name, agg in ranked:
+            lines.append(
+                f"{name:<{name_w}}  {int(agg['count']):>8}  "
+                f"{agg['total_ns'] / 1e6:>8.2f}ms  "
+                f"{agg['self_ns'] / 1e6:>8.2f}ms"
+            )
+    if counters:
+        lines.append("")
+        name_w = max(len("counter"), max(len(n) for n in counters))
+        lines.append(f"{'counter':<{name_w}}  {'value':>14}")
+        for name in sorted(counters):
+            value = counters[name]
+            text = f"{value:.6g}" if value != int(value) else str(int(value))
+            lines.append(f"{name:<{name_w}}  {text:>14}")
+    derived = derived_stats(counters)
+    if derived:
+        lines.append("")
+        name_w = max(len("derived"), max(len(n) for n in derived))
+        lines.append(f"{'derived':<{name_w}}  {'value':>14}")
+        for name in sorted(derived):
+            lines.append(f"{name:<{name_w}}  {derived[name]:>14.4f}")
+    return "\n".join(lines)
+
+
+def report_directory(directory: Union[str, Path]) -> str:
+    """Render the summary for an on-disk run (``repro telemetry report``)."""
+    events, counters, lanes = load_run(directory)
+    return render_summary(events, counters, lanes)

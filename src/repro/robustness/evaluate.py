@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.analytic_sim import PipelineSim
 from repro.core.partition import StageTimes
+from repro.obs import telemetry as _obs
 from repro.sim.analytic import frontier_times
 from repro.robustness.perturbation import (
     PerturbationModel,
@@ -160,13 +161,23 @@ def robust_objective_batch(
             f"factors cover {factors.num_stages} stages, candidates have {n}"
         )
     k = factors.draws
+    tel = _obs.current()
+    t0 = tel.clock() if tel is not None else 0
     pf = np.repeat(fwd, k, axis=0) * np.tile(factors.fwd, (num_candidates, 1))
     pb = np.repeat(bwd, k, axis=0) * np.tile(factors.bwd, (num_candidates, 1))
     pc = np.tile(factors.comm * comm, num_candidates)
     per_draw = frontier_times(
         pf, pb, pc, num_micro_batches, comm_mode=comm_mode
     ).reshape(num_candidates, k)
-    return np.asarray(reduce_statistic(per_draw, statistic, axis=1))
+    values = np.asarray(reduce_statistic(per_draw, statistic, axis=1))
+    if tel is not None:
+        tel.record_since(
+            "robust.objective_batch", t0,
+            candidates=num_candidates, rows=num_candidates * k,
+        )
+        tel.add("robust.candidates", num_candidates)
+        tel.add("robust.draw_sims", num_candidates * k)
+    return values
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ form are still accepted.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, List, Optional, Union
+from typing import IO, Dict, Iterable, List, Optional, Union
 
 from repro.sim.engine import ExecutionResult
 from repro.sim.timeline import as_raw_events
@@ -35,20 +35,28 @@ def timeline_to_trace_events(
     *,
     pid: int = 1,
     process_name: str = "pipeline",
+    thread_names: Optional[Dict[int, str]] = None,
 ) -> List[dict]:
-    """Convert raw event tuples (or TimelineEvents) to trace-event dicts."""
+    """Convert raw event tuples (or TimelineEvents) to trace-event dicts.
+
+    ``thread_names`` overrides the default ``stage <device>`` labels —
+    the search-trace exporter in ``repro.obs`` reuses this path with
+    worker-process lanes instead of pipeline stages.
+    """
     evs = as_raw_events(events)
     out: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": pid,
         "args": {"name": process_name},
     }]
+    names = thread_names or {}
     seen_devices = set()
     for device, _cat, _label, _start, _end, _phase in evs:
         if device not in seen_devices:
             seen_devices.add(device)
             out.append({
                 "name": "thread_name", "ph": "M", "pid": pid,
-                "tid": device, "args": {"name": f"stage {device}"},
+                "tid": device,
+                "args": {"name": names.get(device, f"stage {device}")},
             })
     for device, category, label, start, end, phase in evs:
         record = {

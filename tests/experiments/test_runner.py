@@ -157,3 +157,65 @@ class TestPurge:
 
     def test_purge_without_cache_dir_is_noop(self):
         assert SweepRunner().purge() == 0
+
+
+def sim_cell(depth, m):
+    """A cell that exercises the process-wide simulation memo."""
+    from repro.core.planner import default_sim_cache, plan_partition
+    from repro.config import HardwareConfig, ModelConfig, TrainConfig
+    from repro.profiling import profile_model
+
+    model = ModelConfig(
+        name="runner-tiny", num_layers=6, hidden_size=256, num_heads=4,
+        seq_length=128, vocab_size=8000,
+    )
+    profile = profile_model(
+        model, HardwareConfig(),
+        TrainConfig(micro_batch_size=4, global_batch_size=4 * m),
+    )
+    cache = default_sim_cache()
+    before = cache.hits + cache.misses
+    plan_partition(profile, depth, m, sim_cache=cache, cache=False)
+    return (depth, m, cache.hits + cache.misses - before)
+
+
+class TestSimStats:
+    def test_keys_present(self):
+        stats = SweepRunner().sim_stats()
+        assert set(stats) == {
+            "cell_cache_hits", "cell_cache_misses",
+            "sim_cache_hits", "sim_cache_misses", "sim_cache_hit_rate",
+        }
+
+    def test_pooled_worker_stats_reach_aggregate(self):
+        """Worker-memo deltas must not vanish from sim_stats()."""
+        from repro.core.planner import default_sim_cache
+
+        parent = default_sim_cache()
+        parent_before = parent.hits + parent.misses
+        runner = SweepRunner(jobs=2)
+        results = runner.run(sim_cell, [(2, 4), (3, 4), (2, 8)])
+        worker_sims = sum(r[2] for r in results)
+        assert worker_sims > 0
+        stats = runner.sim_stats()
+        parent_delta = (parent.hits + parent.misses) - parent_before
+        pool_delta = runner.pool_sim_hits + runner.pool_sim_misses
+        # Every simulation the cells performed is accounted for, whether
+        # the pool ran (pool_delta) or the sandbox fell back to inline
+        # execution (parent_delta).
+        assert pool_delta + parent_delta == worker_sims
+        assert stats["sim_cache_hits"] >= runner.pool_sim_hits
+        assert stats["sim_cache_misses"] >= runner.pool_sim_misses
+
+    def test_hit_rate_uses_obs_formula(self):
+        from repro.obs.stats import hit_rate
+
+        runner = SweepRunner()
+        stats = runner.sim_stats()
+        assert stats["sim_cache_hit_rate"] == hit_rate(
+            stats["sim_cache_hits"], stats["sim_cache_misses"]
+        )
+
+    def test_inline_fallback_keeps_results(self):
+        runner = SweepRunner(jobs=2)
+        assert runner.run(square, [(2,), (3,)]) == [4, 9]

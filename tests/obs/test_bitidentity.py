@@ -1,0 +1,273 @@
+"""Telemetry can never change a plan: on vs off bit-identity.
+
+Every search entry point runs twice — once with no registry installed,
+once recording into a fresh :class:`~repro.obs.Telemetry` — and the
+returned partitions, iteration times, argmins and tie-breaks must match
+bit for bit.  The counters the instrumented run folds must equal the
+result object's own fields exactly (they are folded *from* those
+fields, so disagreement means double counting).
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.exhaustive import exhaustive_partition
+from repro.core.planner import SimCache, plan_partition
+from repro.robustness.evaluate import RobustObjective
+from repro.robustness.perturbation import StageCostNoise
+
+
+def _assert_same_plan(a, b):
+    assert a.partition == b.partition
+    assert a.iteration_time == b.iteration_time
+    assert a.evaluations == b.evaluations
+
+
+class TestPlannerBitIdentity:
+    @pytest.mark.parametrize("granularity", ["sublayer", "layer"])
+    def test_plan_identical_on_vs_off(self, tiny_profile, granularity):
+        off = plan_partition(
+            tiny_profile, 4, 16, granularity=granularity, cache=False,
+        )
+        tel = obs.Telemetry()
+        on = plan_partition(
+            tiny_profile, 4, 16, granularity=granularity, cache=False,
+            telemetry=tel,
+        )
+        _assert_same_plan(off, on)
+        assert on.incumbent_updates == off.incumbent_updates
+
+    def test_counters_fold_from_result_fields(self, tiny_profile):
+        tel = obs.Telemetry()
+        result = plan_partition(tiny_profile, 4, 16, cache=False,
+                                telemetry=tel)
+        assert tel.counters["planner.plans"] == 1
+        assert tel.counters["planner.evaluations"] == result.evaluations
+        assert tel.counters["planner.search_seconds"] == (
+            result.search_seconds
+        )
+        assert tel.counters["planner.incumbent_updates"] == (
+            result.incumbent_updates
+        )
+
+    def test_sim_cache_counters_match_cache_deltas(self, tiny_profile):
+        cache = SimCache()
+        tel = obs.Telemetry()
+        plan_partition(tiny_profile, 4, 16, sim_cache=cache, cache=False,
+                       telemetry=tel)
+        assert tel.counters["planner.sim_cache.hits"] == cache.hits
+        assert tel.counters["planner.sim_cache.misses"] == cache.misses
+
+    def test_telemetry_false_forces_off(self, tiny_profile):
+        tel = obs.Telemetry()
+        with obs.session(tel):
+            off = plan_partition(tiny_profile, 4, 8, cache=False,
+                                 telemetry=False)
+        assert tel.events == [] and tel.counters == {}
+        assert off.partition is not None
+
+    def test_session_scoped_recording(self, tiny_profile):
+        tel = obs.Telemetry()
+        with obs.session(tel):
+            plan_partition(tiny_profile, 4, 8, cache=False)
+        assert "planner.plan" in {e[0] for e in tel.events}
+
+
+class TestOracleBitIdentity:
+    MODES = {
+        "analytic": {},
+        "lattice": {"scorer": "lattice"},
+        "incremental": {"scorer": "lattice", "planner_warm_start": False},
+        "pruned": {"incremental": False},
+        "brute": {"prune": False},
+    }
+
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_search_identical_on_vs_off(self, tiny_profile, mode):
+        kwargs = self.MODES[mode]
+        off = exhaustive_partition(tiny_profile, 3, 8, cache=False, **kwargs)
+        tel = obs.Telemetry()
+        on = exhaustive_partition(tiny_profile, 3, 8, cache=False,
+                                  telemetry=tel, **kwargs)
+        _assert_same_plan(off, on)
+        assert on.pruned == off.pruned
+        assert on.suffix_sims == off.suffix_sims
+        assert on.dominance_pruned == off.dominance_pruned
+
+    def test_counters_fold_from_result_fields(self, tiny_profile):
+        tel = obs.Telemetry()
+        result = exhaustive_partition(tiny_profile, 3, 8, cache=False,
+                                      telemetry=tel)
+        assert tel.counters["oracle.searches"] == 1
+        assert tel.counters["oracle.evaluations"] == result.evaluations
+        assert tel.counters["oracle.space"] == result.space
+        assert tel.counters["oracle.search_seconds"] == (
+            result.search_seconds
+        )
+        assert tel.counters["oracle.pruned"] == result.pruned
+        assert tel.counters["oracle.incumbent_updates"] == (
+            result.incumbent_updates
+        )
+
+    def test_search_span_carries_mode_and_space(self, tiny_profile):
+        tel = obs.Telemetry()
+        result = exhaustive_partition(tiny_profile, 3, 8, cache=False,
+                                      telemetry=tel)
+        (span,) = [e for e in tel.events if e[0] == "oracle.search"]
+        assert span[4]["mode"] == "analytic"
+        assert span[4]["space"] == result.space
+
+    def test_jobs_identical_on_vs_off(self, tiny_profile):
+        # On single-core sandboxes the dispatch legitimately degrades to
+        # serial (jobs_downgraded); the plan must be identical either way.
+        off = exhaustive_partition(tiny_profile, 3, 8, cache=False, jobs=2)
+        tel = obs.Telemetry()
+        on = exhaustive_partition(tiny_profile, 3, 8, cache=False, jobs=2,
+                                  telemetry=tel)
+        _assert_same_plan(off, on)
+        assert on.jobs == off.jobs
+        if on.jobs > 1:
+            labels = set(tel.lanes.values())
+            assert any(lbl.startswith("worker") for lbl in labels)
+
+    def test_robust_identical_on_vs_off(self, tiny_profile):
+        objective = RobustObjective(
+            models=(StageCostNoise(sigma=0.05),), draws=16, seed=3,
+        )
+        off = exhaustive_partition(tiny_profile, 3, 8, cache=False,
+                                   robust=objective)
+        tel = obs.Telemetry()
+        on = exhaustive_partition(tiny_profile, 3, 8, cache=False,
+                                  robust=objective, telemetry=tel)
+        _assert_same_plan(off, on)
+        assert on.robust_value == off.robust_value
+        assert "robust.objective_batch" in {e[0] for e in tel.events}
+        assert tel.counters["robust.candidates"] > 0
+
+    def test_plan_cache_counters(self, tiny_profile, tmp_path):
+        from repro.core.plan_cache import PlanCache
+
+        cache = PlanCache(tmp_path)
+        tel = obs.Telemetry()
+        with obs.session(tel):
+            exhaustive_partition(tiny_profile, 3, 8, cache=cache)
+            exhaustive_partition(tiny_profile, 3, 8, cache=cache)
+        assert tel.counters["oracle.plan_cache.misses"] == 1
+        assert tel.counters["oracle.plan_cache.hits"] == 1
+
+
+class TestSinkDirectory:
+    def test_path_argument_writes_all_sinks(self, tiny_profile, tmp_path):
+        import json
+
+        run = tmp_path / "run"
+        result = exhaustive_partition(tiny_profile, 3, 8, cache=False,
+                                      telemetry=run)
+        for name in ("events.jsonl", "counters.json", "trace.json",
+                     "summary.txt"):
+            assert (run / name).exists(), name
+        counters = json.loads((run / "counters.json").read_text())["counters"]
+        assert counters["oracle.evaluations"] == result.evaluations
+        summary = (run / "summary.txt").read_text()
+        assert f"oracle.space  " in summary or "oracle.space" in summary
+
+    def test_summary_counters_match_result_exactly(self, tiny_profile,
+                                                   tmp_path):
+        run = tmp_path / "run"
+        result = exhaustive_partition(tiny_profile, 3, 8, cache=False,
+                                      telemetry=run)
+        summary = (run / "summary.txt").read_text()
+        assert f"{result.evaluations}" in summary
+        assert f"{result.space}" in summary
+
+
+class TestThinViews:
+    def test_result_rates_use_obs_formulas(self, tiny_profile):
+        from repro.obs.stats import hit_rate, rate
+
+        result = exhaustive_partition(tiny_profile, 3, 8, cache=False)
+        assert result.sims_per_second == rate(
+            result.evaluations, result.search_seconds
+        )
+        planned = plan_partition(tiny_profile, 4, 8, cache=False)
+        assert planned.sims_per_second == rate(
+            planned.evaluations, planned.search_seconds
+        )
+        cache = SimCache()
+        plan_partition(tiny_profile, 4, 8, sim_cache=cache, cache=False)
+        assert cache.hit_rate == hit_rate(cache.hits, cache.misses)
+
+
+class TestSweepRunner:
+    def test_sweep_identical_on_vs_off(self):
+        from repro.experiments.runner import SweepRunner
+
+        cells = [(i,) for i in range(4)]
+        off = SweepRunner().run(_square, cells)
+        tel = obs.Telemetry()
+        with obs.session(tel):
+            on = SweepRunner().run(_square, cells)
+        assert on == off
+        names = {e[0] for e in tel.events}
+        assert "sweep.run" in names and "sweep.cell" in names
+
+    def test_cell_cache_counters(self, tmp_path):
+        tel = obs.Telemetry()
+        with obs.session(tel):
+            runner = SweepRunner_cached(tmp_path)
+            runner.run(_square, [(1,), (2,)])
+            runner.run(_square, [(1,), (2,)])
+        assert tel.counters["sweep.cell_cache.misses"] == 2
+        assert tel.counters["sweep.cell_cache.hits"] == 2
+
+    def test_pooled_sim_stats_fold_into_aggregate(self):
+        from repro.experiments.runner import SweepRunner
+
+        runner = SweepRunner(jobs=2)
+        runner.run(_sim_cell, [(2, 4), (3, 4)])
+        stats = runner.sim_stats()
+        # Worker-process deltas must reach the aggregate (they used to
+        # vanish: workers keep their own memo).  On sandboxes without
+        # process pools the inline fallback hits the parent memo instead;
+        # either way every simulation is counted.
+        assert stats["sim_cache_hits"] + stats["sim_cache_misses"] > 0
+
+    def test_pool_lanes_when_pool_runs(self):
+        from repro.experiments.runner import SweepRunner
+
+        tel = obs.Telemetry()
+        with obs.session(tel):
+            runner = SweepRunner(jobs=2)
+            runner.run(_square, [(1,), (2,), (3,)])
+        if runner.pool_sim_hits or any(
+            lbl.startswith("sweep worker") for lbl in tel.lanes.values()
+        ):
+            worker_events = [e for e in tel.events
+                             if e[0] == "sweep.cell" and e[3] != 0]
+            assert worker_events
+
+
+def _square(x):
+    return x * x
+
+
+def _sim_cell(depth, m):
+    from repro.core.planner import default_sim_cache, plan_partition
+    from repro.profiling import profile_model
+    from tests.conftest import TINY
+
+    from repro.config import HardwareConfig, TrainConfig
+
+    profile = profile_model(
+        TINY, HardwareConfig(),
+        TrainConfig(micro_batch_size=4, global_batch_size=4 * m),
+    )
+    cache = default_sim_cache()
+    plan_partition(profile, depth, m, sim_cache=cache, cache=False)
+    return depth
+
+
+def SweepRunner_cached(tmp_path):
+    from repro.experiments.runner import SweepRunner
+
+    return SweepRunner(cache_dir=tmp_path)

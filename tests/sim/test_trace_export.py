@@ -76,3 +76,75 @@ class TestExport:
             if r.get("name") == "process_name"
         ]
         assert proc["args"]["name"] == "1f1b"
+
+
+class TestEdgeCases:
+    def test_empty_timeline_yields_only_process_metadata(self):
+        records = timeline_to_trace_events([])
+        assert [r["ph"] for r in records] == ["M"]
+        assert records[0]["name"] == "process_name"
+
+    def test_empty_timeline_is_valid_trace_json(self):
+        payload = {
+            "traceEvents": timeline_to_trace_events([]),
+            "displayTimeUnit": "ms",
+        }
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_raw_tuple_shim_matches_object_form(self):
+        objects = [
+            TimelineEvent(0, "F", "F(0)", 0.0, 1.0, "warmup"),
+            TimelineEvent(1, "B", "B(0)", 1.0, 2.5, ""),
+        ]
+        raw = [
+            (0, "F", "F(0)", 0.0, 1.0, "warmup"),
+            (1, "B", "B(0)", 1.0, 2.5, ""),
+        ]
+        assert timeline_to_trace_events(objects) == (
+            timeline_to_trace_events(raw)
+        )
+
+    def test_mixed_raw_and_object_events(self):
+        mixed = [
+            (0, "F", "F(0)", 0.0, 1.0, ""),
+            TimelineEvent(1, "B", "B(0)", 1.0, 2.0, "steady"),
+        ]
+        x = [r for r in timeline_to_trace_events(mixed) if r["ph"] == "X"]
+        assert [r["name"] for r in x] == ["F(0)", "B(0)"]
+
+    def test_record_order_is_deterministic(self):
+        events = [
+            (1, "B", "B(0)", 1.0, 2.0, ""),
+            (0, "F", "F(0)", 0.0, 1.0, ""),
+            (1, "F", "F(1)", 2.0, 3.0, ""),
+        ]
+        first = timeline_to_trace_events(events)
+        second = timeline_to_trace_events(events)
+        assert first == second
+        # X records preserve input order; thread names appear once per
+        # device in first-seen order.
+        x = [r for r in first if r["ph"] == "X"]
+        assert [r["name"] for r in x] == ["B(0)", "F(0)", "F(1)"]
+        tids = [r["tid"] for r in first if r.get("name") == "thread_name"]
+        assert tids == [1, 0]
+
+    def test_thread_names_override(self):
+        events = [(0, "oracle", "oracle.search", 0.0, 1.0, "")]
+        records = timeline_to_trace_events(
+            events, thread_names={0: "main"}
+        )
+        (meta,) = [r for r in records if r.get("name") == "thread_name"]
+        assert meta["args"]["name"] == "main"
+
+    def test_thread_names_fall_back_to_stage_labels(self):
+        events = [(3, "F", "F(0)", 0.0, 1.0, "")]
+        records = timeline_to_trace_events(events, thread_names={0: "main"})
+        (meta,) = [r for r in records if r.get("name") == "thread_name"]
+        assert meta["args"]["name"] == "stage 3"
+
+    def test_zero_duration_event_exports(self):
+        events = [(0, "F", "F(0)", 1.0, 1.0, "")]
+        (record,) = [
+            r for r in timeline_to_trace_events(events) if r["ph"] == "X"
+        ]
+        assert record["dur"] == 0.0

@@ -113,3 +113,73 @@ class TestPlanFlags:
         assert not list(sweep_dir.glob("*.pkl"))
         assert not list(plan_dir.glob("*.pkl"))
         assert "cleared 2 cached entries" in capsys.readouterr().err
+
+
+class TestPlanSubcommand:
+    def test_plan_prints_partition(self, capsys):
+        assert main([
+            "plan", "--model", "gpt2-345m", "--stages", "4",
+            "--micro-batches", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partition:" in out and "iteration time:" in out
+
+    def test_plan_oracle_with_telemetry_writes_sinks(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        assert main([
+            "plan", "--stages", "3", "--micro-batches", "8", "--oracle",
+            "--telemetry", str(run),
+        ]) == 0
+        for name in ("events.jsonl", "counters.json", "trace.json",
+                     "summary.txt"):
+            assert (run / name).exists(), name
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "oracle.search" in out
+
+    def test_plan_unknown_model_errors(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--model", "nope", "--stages", "2",
+                  "--micro-batches", "4"])
+
+    def test_plan_requires_stages(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--micro-batches", "4"])
+
+
+class TestTelemetrySubcommand:
+    def test_report_renders_saved_run(self, tmp_path, capsys):
+        from repro import obs
+
+        tel = obs.Telemetry()
+        with tel.span("x.y"):
+            pass
+        tel.add("x.count", 1)
+        tel.write(tmp_path)
+        assert main(["telemetry", "report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "x.y" in out and "x.count" in out
+
+    def test_report_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["telemetry", "report", str(tmp_path / "nope")]) == 1
+        assert "not a telemetry directory" in capsys.readouterr().err
+
+
+def test_experiment_telemetry_flag(monkeypatch, tmp_path, capsys):
+    """--telemetry wraps the whole invocation and writes the sink files."""
+    from repro import obs
+
+    class _Plans:
+        @staticmethod
+        def main():
+            obs.add("fake.counter", 2)
+
+    monkeypatch.setattr("repro.cli.ALL_EXPERIMENTS", {"plans": _Plans})
+    run = tmp_path / "tele"
+    assert main(["plans", "--telemetry", str(run)]) == 0
+    assert (run / "counters.json").exists()
+    import json
+
+    counters = json.loads((run / "counters.json").read_text())["counters"]
+    assert counters["fake.counter"] == 2
+    assert obs.current() is None  # uninstalled after the run
